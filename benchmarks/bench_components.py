@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core substrates.
+
+These are conventional multi-round pytest-benchmark measurements of the
+building blocks (MII analysis, HRMS ordering, a full MIRS-C schedule, the
+cache simulator), useful for tracking performance regressions in the
+scheduler itself.
+"""
+
+import pytest
+
+from repro import MirsC, compute_mii, hrms_order, parse_config
+from repro.memsim.cache import LockupFreeCache
+from repro.memsim.trace import loop_miss_rates
+from repro.workloads.perfect import build_loop
+
+
+@pytest.fixture(scope="module")
+def medium_loop():
+    # A mid-sized dense loop from the workbench.
+    return build_loop(31).graph
+
+
+@pytest.fixture(scope="module")
+def unified():
+    return parse_config("1-(GP8M4-REG64)")
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return parse_config("4-(GP2M1-REG32)")
+
+
+def test_bench_mii(benchmark, medium_loop, unified):
+    result = benchmark(compute_mii, medium_loop, unified)
+    assert result >= 1
+
+
+def test_bench_hrms_order(benchmark, medium_loop, unified):
+    result = benchmark(hrms_order, medium_loop, unified)
+    assert len(result.order) == len(medium_loop)
+
+
+def test_bench_schedule_unified(benchmark, medium_loop, unified):
+    result = benchmark(lambda: MirsC(unified).schedule(medium_loop))
+    assert result.converged
+
+
+def test_bench_schedule_clustered(benchmark, medium_loop, clustered):
+    result = benchmark.pedantic(
+        lambda: MirsC(clustered).schedule(medium_loop),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.converged
+
+
+def test_bench_cache_sim(benchmark, medium_loop):
+    rates = benchmark(loop_miss_rates, medium_loop)
+    assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+
+def test_bench_cache_access(benchmark):
+    cache = LockupFreeCache()
+
+    def run():
+        for address in range(0, 1 << 16, 8):
+            cache.access(address)
+        return cache.miss_rate
+
+    rate = benchmark(run)
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,33 @@
+"""Figure 2: cycle time, area and power of register-file organisations.
+
+Regenerates the three panels of Figure 2 (cycle time / area / power for a
+core with 8 GP units + 4 memory ports organised as 1, 2 or 4 clusters,
+with 16..128 registers per cluster) from the Rixner-style technology
+model, and asserts the paper's anchor facts hold.
+"""
+
+from conftest import loops_for  # noqa: F401  (shared conventions)
+
+from repro.eval.experiments import figure2_rows
+from repro.eval.reporting import render_table
+from repro.machine.config import paper_configuration
+from repro.machine.technology import TechnologyModel
+
+
+def test_figure2(benchmark, table_sink):
+    headers, rows, note = benchmark(figure2_rows)
+    text = render_table("Figure 2: technology model", headers, rows, note)
+    table_sink("figure2", text)
+
+    tech = TechnologyModel()
+    unified16 = paper_configuration(1, 16)
+    unified32 = paper_configuration(1, 32)
+    unified64 = paper_configuration(1, 64)
+    clustered = paper_configuration(4, 64)
+    # Section 1's anchors.
+    assert tech.cycle_time_ns(clustered) < tech.cycle_time_ns(unified16)
+    assert 0.7 < tech.area(clustered) / tech.area(unified32) < 1.4
+    assert 0.7 < tech.power(clustered) / tech.power(unified16) < 1.4
+    # Section 4.2's reduction factors.
+    assert 0.10 < tech.area(paper_configuration(4, 16)) / tech.area(unified64) < 0.25
+    assert 0.35 < tech.power(paper_configuration(4, 16)) / tech.power(unified64) < 0.65

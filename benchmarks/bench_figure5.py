@@ -1,0 +1,36 @@
+"""Figure 5: ideal-memory evaluation of the configuration space.
+
+Execution cycles, memory traffic and execution time for k in {1,2,4},
+16..128 registers per cluster, move latency in {1,3}.  Expected shape:
+
+* clustering costs cycles (paper: +8% at k=2, +19% at k=4 with 64 total
+  registers) because of move operations and bus conflicts,
+* but the clustered configurations win on execution *time* because their
+  register files cycle faster,
+* the best total register budget is 64 (more registers slow the clock
+  for little spill benefit; fewer explode the spill traffic).
+"""
+
+from conftest import loops_for
+
+from repro.eval.experiments import figure5_rows
+from repro.eval.reporting import render_table
+from repro.workloads.perfect import cached_suite
+
+
+def test_figure5(benchmark, table_sink):
+    loops = cached_suite(loops_for(8))
+    headers, rows, note = benchmark.pedantic(
+        figure5_rows, args=(loops,), rounds=1, iterations=1
+    )
+    text = render_table(
+        f"Figure 5: ideal memory ({len(loops)} loops)", headers, rows, note
+    )
+    table_sink("figure5", text)
+
+    by_key = {(lm, k, z): (cycles, mem, time)
+              for lm, k, z, cycles, mem, time in rows}
+    # Clustering costs cycles at equal total registers (64)...
+    assert by_key[(1, 4, 16)][0] >= by_key[(1, 1, 64)][0]
+    # ...but wins on execution time at the sweet-spot configurations.
+    assert by_key[(1, 4, 16)][2] <= by_key[(1, 1, 64)][2] * 1.05

@@ -1,0 +1,37 @@
+"""Figure 6: scalability with the number of clusters and buses.
+
+Replicates a GP2M1-REG32 cluster element 1..8 times and sweeps the
+inter-cluster bus count over {2, 3, 4, unbounded}.  Expected shape: the
+organisation scales whenever the bus count stays close to k/2; with only
+2 buses the speedup saturates once the communication demand of ~4+
+clusters exceeds the interconnect.
+"""
+
+from conftest import loops_for
+
+from repro.eval.experiments import figure6_rows
+from repro.eval.reporting import render_table
+from repro.workloads.perfect import cached_suite
+
+
+def test_figure6(benchmark, table_sink):
+    loops = cached_suite(loops_for(10))
+    headers, rows, note = benchmark.pedantic(
+        figure6_rows,
+        args=(loops,),
+        kwargs={"clusters": (1, 2, 4, 6, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(
+        f"Figure 6: scalability ({len(loops)} loops)", headers, rows, note
+    )
+    table_sink("figure6", text)
+
+    speedup = {
+        (buses, k): s for buses, k, _cycles, s in rows
+    }
+    # More clusters never slow the (unbounded-bus) machine down much...
+    assert speedup[("inf", 8)] >= speedup[("inf", 1)]
+    # ...and generous interconnects do at least as well as 2 buses at k=8.
+    assert speedup[("inf", 8)] >= speedup[(2, 8)] * 0.95

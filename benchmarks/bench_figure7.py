@@ -1,0 +1,38 @@
+"""Figure 7: real memory and selective binding prefetching.
+
+Schedules the workbench under the lockup-free cache model of Section 4.3,
+with loads either at hit latency ("normal", the processor stalls on
+misses) or at miss latency for the selectively-prefetched loads
+("prefetch").  Expected shape:
+
+* prefetching removes most stall cycles for every configuration,
+* prefetching inflates register pressure, so configurations with more
+  total registers (clustered ones, whose registers are cheap) benefit
+  the most,
+* on execution time the best clustered configurations beat the unified
+  one (paper: ~1.19x at k=2, ~1.46x at k=4).
+"""
+
+from conftest import loops_for
+
+from repro.eval.experiments import figure7_rows
+from repro.eval.reporting import render_table
+from repro.workloads.perfect import cached_suite
+
+
+def test_figure7(benchmark, table_sink):
+    loops = cached_suite(loops_for(8))
+    headers, rows, note = benchmark.pedantic(
+        figure7_rows, args=(loops,), rounds=1, iterations=1
+    )
+    text = render_table(
+        f"Figure 7: real memory + binding prefetching ({len(loops)} loops)",
+        headers,
+        rows,
+        note,
+    )
+    table_sink("figure7", text)
+
+    stall = {(mode, k, z): s for mode, k, z, _u, s, _t in rows}
+    # Prefetching reduces the stall component on the reference config.
+    assert stall[("prefetch", 1, 64)] <= stall[("normal", 1, 64)] + 1e-9

@@ -1,0 +1,57 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and registers
+its rendered table here; a terminal-summary hook prints every table at
+the end of the run (so ``pytest benchmarks/ --benchmark-only`` output
+contains the actual experiment rows, not only the timings), and a copy is
+written to ``benchmarks/results/<name>.txt``.
+
+Subset size: the full paper-scale run uses all 1258 workbench loops; by
+default the benchmarks use small, family-balanced subsets so the whole
+suite completes in minutes.  Set ``REPRO_BENCH_LOOPS=<n>`` to scale up.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_tables: dict[str, str] = {}
+
+
+@pytest.fixture
+def table_sink():
+    """Callable fixture: benchmarks pass (name, rendered table text)."""
+
+    def sink(name: str, text: str) -> None:
+        _tables[name] = text
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return sink
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _tables:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for name in sorted(_tables):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_tables[name])
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "Tables saved under benchmarks/results/; see EXPERIMENTS.md for "
+        "the paper-vs-measured comparison."
+    )
+
+
+def loops_for(bench_default: int) -> int:
+    """Benchmark subset size (REPRO_BENCH_LOOPS overrides)."""
+    value = os.environ.get("REPRO_BENCH_LOOPS")
+    if value:
+        return max(1, int(value))
+    return bench_default

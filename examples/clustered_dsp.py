@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A DSP workload on a TI-TMS320C6x-style 2-cluster VLIW.
+
+The TMS320C6x (cited by the paper as a commercial clustered design) has
+two clusters of four units sharing a small register file per side with a
+cross-path between them.  We model its shape with the paper's
+2-(GP4M2-REGz) configuration and schedule two classic DSP kernels:
+
+* a complex multiply-accumulate (cMAC) loop - the core of an FFT
+  butterfly / complex FIR,
+* a biquad IIR filter section - a loop with a genuine cross-iteration
+  recurrence that limits the achievable II.
+
+The example compares MIRS-C against the non-iterative baseline [31] on
+both, showing where the integrated approach wins: the cMAC loop is
+communication-bound (many values cross clusters), the IIR loop is
+recurrence-bound (backtracking must not stretch the recurrence).
+
+Run with::
+
+    python examples/clustered_dsp.py
+"""
+
+from repro import LoopBuilder, MirsC, NonIterativeScheduler, parse_config
+from repro.eval.pretty import format_kernel
+
+
+def build_cmac():
+    """Complex multiply-accumulate: acc += x[i] * w[i] (complex)."""
+    b = LoopBuilder("cmac", trip_count=512)
+    xr = b.load(array=0)  # Re(x[i])
+    xi = b.load(array=1)  # Im(x[i])
+    wr = b.load(array=2)  # Re(w[i])
+    wi = b.load(array=3)  # Im(w[i])
+    # (xr + j xi) * (wr + j wi)
+    rr = b.mul(xr, wr)
+    ii_ = b.mul(xi, wi)
+    ri = b.mul(xr, wi)
+    ir = b.mul(xi, wr)
+    real = b.add(rr, ii_)  # with the sign folded into the add unit
+    imag = b.add(ri, ir)
+    acc_r = b.add(real)
+    acc_i = b.add(imag)
+    b.loop_carried(acc_r, acc_r, distance=1)  # accumulators
+    b.loop_carried(acc_i, acc_i, distance=1)
+    b.store(acc_r, array=4)
+    b.store(acc_i, array=5)
+    return b.build()
+
+
+def build_biquad():
+    """Direct-form-II biquad: a 2-deep recurrence through the filter state."""
+    b = LoopBuilder("biquad", trip_count=2048)
+    x = b.load(array=0)
+    a1 = b.invariant("a1")
+    a2 = b.invariant("a2")
+    b0 = b.invariant("b0")
+    b1 = b.invariant("b1")
+    b2 = b.invariant("b2")
+    # w[n] = x[n] - a1*w[n-1] - a2*w[n-2]
+    t1 = b.mul(a1)
+    t2 = b.mul(a2)
+    s1 = b.add(x, t1)
+    w = b.add(s1, t2)
+    b.loop_carried(w, t1, distance=1)
+    b.loop_carried(w, t2, distance=2)
+    # y[n] = b0*w[n] + b1*w[n-1] + b2*w[n-2]
+    u0 = b.mul(w, b0)
+    u1 = b.mul(b1)
+    u2 = b.mul(b2)
+    b.loop_carried(w, u1, distance=1)
+    b.loop_carried(w, u2, distance=2)
+    y1 = b.add(u0, u1)
+    y = b.add(y1, u2)
+    b.store(y, array=1)
+    return b.build()
+
+
+def compare(graph, machine) -> None:
+    ours = MirsC(machine).schedule(graph)
+    base = NonIterativeScheduler(machine).schedule(graph)
+    print(format_kernel(ours))
+    base_ii = base.ii if base.converged else "n/a (did not converge)"
+    print(
+        f"-> MIRS-C II={ours.ii} vs [31] II={base_ii}; "
+        f"moves={ours.move_operations}, spills={ours.spill_operations}, "
+        f"registers={ours.register_usage}"
+    )
+    print()
+
+
+def main() -> None:
+    machine = parse_config("2-(GP4M2-REG16)", move_latency=1)
+    print(f"target: {machine.name} (TMS320C6x-shaped)\n")
+    compare(build_cmac(), machine)
+    compare(build_biquad(), machine)
+
+
+if __name__ == "__main__":
+    main()

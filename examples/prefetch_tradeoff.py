@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Binding prefetching: trading registers for memory stalls (Section 4.3).
+
+Schedules a cache-unfriendly strided kernel twice on each configuration:
+once with loads at hit latency (the processor stalls on every miss) and
+once with selective binding prefetching (loads scheduled at miss
+latency - no stalls, but much longer lifetimes and so more register
+pressure).  Clustered configurations, whose registers are cheap, can
+afford the pressure; that is the paper's closing argument for clustering.
+
+Run with::
+
+    python examples/prefetch_tradeoff.py
+"""
+
+from repro import LoopBuilder, MirsC, TechnologyModel, paper_configuration
+from repro.eval.reporting import render_table
+from repro.memsim.prefetch import apply_binding_prefetch
+from repro.memsim.stall import MemoryModel
+
+
+def build_strided():
+    """A gather-style kernel whose loads miss often (large strides)."""
+    b = LoopBuilder("gather", trip_count=4096)
+    total = None
+    for j in range(4):
+        v = b.load(array=j, stride=16)  # 16 doubles = 4 lines apart
+        w = b.load(array=10 + j, stride=1)
+        prod = b.mul(v, w)
+        total = prod if total is None else b.add(total, prod)
+    b.store(total, array=20)
+    return b.build()
+
+
+def main() -> None:
+    graph = build_strided()
+    technology = TechnologyModel()
+    memory = MemoryModel(technology)
+
+    rows = []
+    for k, z in ((1, 64), (2, 64), (4, 32)):
+        machine = paper_configuration(k, z)
+        for mode in ("normal", "prefetch"):
+            if mode == "prefetch":
+                scheduled_graph = apply_binding_prefetch(
+                    graph, machine, technology
+                )
+            else:
+                scheduled_graph = graph
+            result = MirsC(machine).schedule(scheduled_graph)
+            report = memory.evaluate(result)
+            time_ms = technology.execution_time_ns(
+                machine, report.total_cycles
+            ) / 1e6
+            rows.append(
+                [
+                    machine.name,
+                    mode,
+                    result.ii,
+                    max(result.register_usage.values()),
+                    round(report.useful_cycles / 1e3, 1),
+                    round(report.stall_cycles / 1e3, 1),
+                    round(time_ms, 3),
+                ]
+            )
+
+    print(
+        render_table(
+            "Selective binding prefetching on a strided kernel",
+            [
+                "config", "mode", "II", "regs used",
+                "useful (kcyc)", "stall (kcyc)", "time (ms)",
+            ],
+            rows,
+            "Prefetching eliminates stalls but inflates register usage; "
+            "clustered machines absorb it without slowing their clock.",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

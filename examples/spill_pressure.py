@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Integrated spilling in action: a register-starved matrix kernel.
+
+Builds a blocked rank-1 update (many simultaneously live values) and
+schedules it on a machine with a deliberately tiny register file.  The
+non-iterative baseline [31] can only react by inflating the II - and on
+the tightest file it cannot converge at all - while MIRS-C inserts spill
+code *during* scheduling and keeps the II close to the unconstrained
+minimum.
+
+Run with::
+
+    python examples/spill_pressure.py
+"""
+
+from repro import (
+    LoopBuilder,
+    MirsC,
+    NonIterativeScheduler,
+    parse_config,
+)
+from repro.eval.reporting import render_table
+
+
+def build_rank1(width: int = 8):
+    """A two-pass block kernel whose first-pass values are reused late.
+
+    Pass 1 computes `width` products; pass 2 re-reads every product after
+    a long reduction chain, so each product stays live for most of the
+    loop body - exactly the long lifetimes that make spilling profitable.
+    """
+    b = LoopBuilder("rank1", trip_count=400)
+    x = b.load(array=0)
+    products = []
+    for j in range(width):
+        col = b.load(array=1 + j)
+        products.append(b.mul(col, x))
+    # A long serial reduction keeps the schedule deep...
+    acc = products[0]
+    for prod in products[1:]:
+        acc = b.add(acc, prod)
+    # ...and a second pass re-uses every product at the very end, so all
+    # `width` values cross most of the schedule.
+    late = acc
+    for prod in products:
+        late = b.add(late, prod)
+    total = b.add(late)
+    b.loop_carried(total, total, distance=1)
+    b.store(total, array=100)
+    return b.build()
+
+
+def main() -> None:
+    graph = build_rank1()
+    rows = []
+    for regs in (64, 32, 16, 12):
+        machine = parse_config(f"1-(GP8M4-REG{regs})")
+        ours = MirsC(machine).schedule(graph)
+        base = NonIterativeScheduler(machine).schedule(graph)
+        rows.append(
+            [
+                regs,
+                ours.ii,
+                ours.spill_operations,
+                ours.memory_traffic,
+                base.ii if base.converged else "not converged",
+                max(ours.register_usage.values()),
+            ]
+        )
+    print(
+        render_table(
+            "Integrated spilling vs II inflation (rank-1 update kernel)",
+            [
+                "registers", "MIRS-C II", "spill ops",
+                "mem traffic/iter", "[31] II", "regs used",
+            ],
+            rows,
+            "MIRS-C converts register shortage into spill traffic at a "
+            "nearly flat II; [31] must stretch the whole loop instead.",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

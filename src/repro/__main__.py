@@ -1,0 +1,13 @@
+"""Entry point for ``python -m repro``."""
+
+import sys
+
+from repro.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Output piped into a pager/head that closed early: not an error.
+    sys.stderr.close()
+    code = 0
+sys.exit(code)

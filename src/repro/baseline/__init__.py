@@ -1,0 +1,5 @@
+"""Comparison baseline: the non-iterative clustered scheduler of [31]."""
+
+from repro.baseline.noniterative import NonIterativeScheduler
+
+__all__ = ["NonIterativeScheduler"]

@@ -1,0 +1,195 @@
+"""The non-iterative clustered modulo scheduler of Sánchez & González [31].
+
+This is the comparator used throughout Section 4 of the paper.  Its
+published characteristics, which this implementation reproduces from the
+description given in the paper (DESIGN.md substitution note (e)):
+
+* cluster assignment and scheduling in a single pass over the nodes, but
+  **no backtracking**: once placed, an operation is never ejected, and a
+  node that finds no free slot forces the whole loop to be rescheduled at
+  ``II + 1``;
+* **no spill code**: "when the algorithm runs out of registers, then it
+  increases the II of the loop without trying to insert spill code";
+* loop invariants are accounted for (as in the paper's re-implementation
+  of [31]), which is what produces the *non-convergence* reported in
+  Table 2: an invariant-heavy cluster needs its registers at any II, so
+  raising the II can never fix the shortage.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.params import MirsParams, max_ii_for
+from repro.core.priority import PriorityList
+from repro.core.result import ScheduleResult
+from repro.core.state import SchedulerState
+from repro.core.verify import verify_schedule
+from repro.cluster.moves import add_move, next_needed_move
+from repro.cluster.selection import select_cluster
+from repro.errors import SchedulingError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.mii import compute_mii
+from repro.machine.config import MachineConfig
+from repro.machine.resources import OpKind
+from repro.order.hrms import hrms_order
+from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.regalloc import allocate_registers
+from repro.schedule.slots import dependence_window, find_free_slot
+
+
+class NonIterativeScheduler:
+    """Cluster-aware modulo scheduler without backtracking or spilling."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        params: MirsParams | None = None,
+        verify: bool = True,
+    ):
+        self.machine = machine
+        self.params = params or MirsParams()
+        self.verify = verify
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, graph: DependenceGraph) -> ScheduleResult:
+        """Schedule one loop; may return ``converged=False`` (Table 2)."""
+        started = time.perf_counter()
+        pristine = graph.clone()
+        ordering = hrms_order(pristine, self.machine)
+        mii = compute_mii(pristine, self.machine)
+        limit = max_ii_for(mii, len(pristine), self.params)
+
+        restarts = 0
+        ii = mii
+        while ii <= limit:
+            state = self._attempt(pristine.clone(), ii, ordering.priority)
+            if state is not None:
+                return self._finalize(
+                    state, mii, restarts, time.perf_counter() - started
+                )
+            restarts += 1
+            ii += 1
+        # Genuine non-convergence (the "Not Cnvr" column of Table 2).
+        return ScheduleResult(
+            loop=pristine.name,
+            machine=self.machine,
+            converged=False,
+            ii=limit,
+            mii=mii,
+            restarts=restarts,
+            scheduling_seconds=time.perf_counter() - started,
+            trip_count=pristine.trip_count,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _attempt(
+        self,
+        graph: DependenceGraph,
+        ii: int,
+        priorities: dict[int, float],
+    ) -> SchedulerState | None:
+        state = SchedulerState(graph, self.machine, ii, priorities, self.params)
+        while not state.pl.empty():
+            node_id = state.pl.pop()
+            if node_id not in state.graph:
+                continue
+            node = state.graph.node(node_id)
+            cluster = select_cluster(state, node)
+            guard = 0
+            while True:
+                plan = next_needed_move(state, node, cluster)
+                if plan is None:
+                    break
+                move = add_move(state, plan)
+                if not self._place(state, move, plan.dst_cluster):
+                    return None
+                guard += 1
+                if guard > 4 * self.machine.clusters + 8:
+                    return None
+            if not self._place(state, node, cluster):
+                return None
+        if not self._fits_registers(state):
+            return None
+        return state
+
+    def _place(self, state: SchedulerState, node, cluster: int) -> bool:
+        """First-free-slot placement; no forcing, no ejection."""
+        window = dependence_window(
+            state.graph, state.schedule, node, state.machine
+        )
+        src_cluster = node.src_cluster if node.is_move else None
+        slot = find_free_slot(
+            state.schedule, node, cluster, window, src_cluster=src_cluster
+        )
+        if slot is None:
+            return False
+        state.schedule.place(node, cluster, slot, src_cluster=src_cluster)
+        state.stats.nodes_scheduled += 1
+        return True
+
+    def _fits_registers(self, state: SchedulerState) -> bool:
+        available = state.machine.cluster.registers
+        if available is None:
+            return True
+        allocations = allocate_registers(
+            state.graph, state.schedule, state.machine
+        )
+        return all(
+            alloc.registers_used <= available
+            for alloc in allocations.values()
+        )
+
+    # ------------------------------------------------------------------
+
+    def _finalize(
+        self,
+        state: SchedulerState,
+        mii: int,
+        restarts: int,
+        elapsed: float,
+    ) -> ScheduleResult:
+        graph = state.graph
+        schedule = state.schedule
+        analysis = LifetimeAnalysis(graph, schedule, state.machine)
+        allocations = allocate_registers(
+            graph, schedule, state.machine, analysis
+        )
+        times = {n: schedule.time(n) for n in schedule.scheduled_ids()}
+        clusters = {n: schedule.cluster(n) for n in schedule.scheduled_ids()}
+        register_usage = {c: a.registers_used for c, a in allocations.items()}
+        result = ScheduleResult(
+            loop=graph.name,
+            machine=state.machine,
+            converged=True,
+            ii=state.ii,
+            mii=mii,
+            times=times,
+            clusters=clusters,
+            register_usage=register_usage,
+            max_live={
+                c: analysis.max_live(c)
+                for c in range(state.machine.clusters)
+            },
+            memory_traffic=state.memory_operation_count(),
+            spill_operations=0,
+            move_operations=graph.count_kind(OpKind.MOVE),
+            stage_count=max(1, schedule.stage_count()),
+            restarts=restarts,
+            scheduling_seconds=elapsed,
+            stats=state.stats,
+            graph=graph,
+            trip_count=graph.trip_count,
+        )
+        if self.verify:
+            violations = verify_schedule(
+                graph, state.machine, state.ii, times, clusters, register_usage
+            )
+            if violations:
+                raise SchedulingError(
+                    f"[31] produced an invalid schedule for {graph.name}: "
+                    + "; ".join(violations[:5])
+                )
+        return result

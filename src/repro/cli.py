@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``schedule`` - schedule one workbench loop (or a built-in demo kernel)
+  on a named configuration and print the kernel (optionally the full
+  generated code);
+* ``compare``  - run MIRS-C and the non-iterative baseline [31] over a
+  workbench subset on one configuration and print the comparison;
+* ``suite``    - print structural statistics of the synthetic workbench;
+* ``technology`` - print the Figure 2 technology table.
+
+Examples::
+
+    python -m repro schedule --config "4-(GP2M1-REG16)" --loop 31 --code
+    python -m repro compare --config "2-(GP4M2-REG32)" --loops 12
+    python -m repro technology
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    LoopBuilder,
+    MirsC,
+    NonIterativeScheduler,
+    generate_code,
+    parse_config,
+)
+from repro.eval.experiments import figure2_rows
+from repro.eval.pretty import format_kernel
+from repro.eval.reporting import render_table
+from repro.workloads.perfect import build_loop, cached_suite, suite_statistics
+
+
+def _demo_graph():
+    b = LoopBuilder("daxpy", trip_count=1000)
+    x = b.load(array=0)
+    y = b.load(array=1)
+    a = b.invariant("a")
+    b.store(b.add(b.mul(x, a), y), array=1)
+    return b.build()
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    machine = parse_config(
+        args.config, move_latency=args.move_latency, buses=args.buses
+    )
+    if args.loop is None:
+        graph = _demo_graph()
+    else:
+        graph = build_loop(args.loop).graph
+    result = MirsC(machine).schedule(graph)
+    print(format_kernel(result))
+    print()
+    print(result.summary())
+    if args.code:
+        print()
+        print(generate_code(result).render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    machine = parse_config(
+        args.config, move_latency=args.move_latency, buses=args.buses
+    )
+    loops = cached_suite(args.loops)
+    rows = []
+    for loop in loops:
+        ours = MirsC(machine).schedule(loop.graph)
+        base = NonIterativeScheduler(machine).schedule(loop.graph)
+        rows.append(
+            [
+                loop.graph.name,
+                len(loop.graph),
+                ours.ii,
+                base.ii if base.converged else "n/a",
+                ours.memory_traffic,
+                ours.move_operations,
+                ours.spill_operations,
+            ]
+        )
+    print(
+        render_table(
+            f"MIRS-C vs [31] on {machine.name} ({len(loops)} loops)",
+            ["loop", "ops", "II MIRS-C", "II [31]", "trf", "moves", "spills"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    loops = cached_suite(args.loops)
+    stats = suite_statistics(list(loops))
+    rows = [[key, value] for key, value in sorted(stats.items())]
+    print(render_table("Workbench statistics", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_technology(args: argparse.Namespace) -> int:
+    headers, rows, note = figure2_rows()
+    print(render_table("Technology model (Figure 2)", headers, rows, note))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MIRS-C reproduction (Zalamea et al., MICRO 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--config",
+            default="2-(GP4M2-REG32)",
+            help="machine configuration, e.g. '4-(GP2M1-REG16)'",
+        )
+        p.add_argument("--move-latency", type=int, default=1)
+        p.add_argument(
+            "--buses",
+            type=lambda v: None if v == "inf" else int(v),
+            default=2,
+            help="inter-cluster buses ('inf' for unbounded)",
+        )
+
+    schedule = sub.add_parser("schedule", help="schedule one loop")
+    common(schedule)
+    schedule.add_argument(
+        "--loop",
+        type=int,
+        default=None,
+        help="workbench loop index (omit for the built-in DAXPY demo)",
+    )
+    schedule.add_argument(
+        "--code", action="store_true", help="also emit the VLIW code"
+    )
+    schedule.set_defaults(func=_cmd_schedule)
+
+    compare = sub.add_parser("compare", help="MIRS-C vs the baseline [31]")
+    common(compare)
+    compare.add_argument("--loops", type=int, default=8)
+    compare.set_defaults(func=_cmd_compare)
+
+    suite = sub.add_parser("suite", help="workbench statistics")
+    suite.add_argument("--loops", type=int, default=60)
+    suite.set_defaults(func=_cmd_suite)
+
+    technology = sub.add_parser(
+        "technology", help="Figure 2 technology table"
+    )
+    technology.set_defaults(func=_cmd_technology)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

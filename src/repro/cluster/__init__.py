@@ -1,0 +1,13 @@
+"""Cluster assignment, inter-cluster moves, register-pressure balancing."""
+
+from repro.cluster.selection import select_cluster
+from repro.cluster.moves import MovePlan, add_move, next_needed_move
+from repro.cluster.balance import balance_register_pressure
+
+__all__ = [
+    "select_cluster",
+    "MovePlan",
+    "add_move",
+    "next_needed_move",
+    "balance_register_pressure",
+]

@@ -1,0 +1,113 @@
+"""Cluster selection (step C1 of Figure 4, Section 3.3.1).
+
+After picking node U from the PriorityList the algorithm chooses the
+cluster to schedule it into, considering **in this order**:
+
+1. availability of an empty slot for U in the current partial schedule of
+   each cluster (one slot is enough),
+2. the minimum number of move operations that would be required to access
+   the values produced/consumed by already-scheduled operations,
+3. the minimum occupancy of the functional unit that can perform U.
+
+Spill loads and stores are pinned next to the value they spill: the store
+goes where the value lives, the load where its consumer executes, so the
+spilled traffic never crosses clusters gratuitously.
+"""
+
+from __future__ import annotations
+
+from repro.core.state import SchedulerState
+from repro.graph.ddg import DepKind, Node
+from repro.machine.resources import OpKind, ResourceClass
+from repro.schedule.slots import dependence_window, find_free_slot
+
+
+def _resource_for(kind: OpKind) -> ResourceClass:
+    if kind.is_compute:
+        return ResourceClass.GP_FU
+    if kind.is_memory:
+        return ResourceClass.MEM_PORT
+    return ResourceClass.OUT_PORT
+
+
+def moves_required(state: SchedulerState, node: Node, cluster: int) -> int:
+    """Move operations needed if ``node`` lands in ``cluster``.
+
+    One move per operand value living in a different cluster, plus one
+    move per distinct foreign cluster holding already-scheduled consumers
+    of the node's value.
+    """
+    count = 0
+    seen_producers: set[int] = set()
+    for edge in state.graph.in_edges(node.id):
+        if edge.kind is not DepKind.REG or edge.src in seen_producers:
+            continue
+        if edge.src == node.id:
+            continue
+        if state.schedule.is_scheduled(edge.src):
+            seen_producers.add(edge.src)
+            if state.schedule.cluster(edge.src) != cluster:
+                count += 1
+    if node.produces_value:
+        foreign = {
+            consumer_cluster
+            for _, consumer_cluster in state.scheduled_reg_consumers(node.id)
+            if consumer_cluster != cluster
+        }
+        count += len(foreign)
+    return count
+
+
+def _pinned_cluster(state: SchedulerState, node: Node) -> int | None:
+    """Cluster a spill node is pinned to (next to its value / consumer)."""
+    if not node.is_spill:
+        return None
+    if node.kind is OpKind.STORE:
+        # Keep the store where the spilled value lives.
+        for edge in state.graph.in_edges(node.id):
+            if edge.kind is DepKind.REG and state.schedule.is_scheduled(edge.src):
+                return state.schedule.cluster(edge.src)
+    if node.kind is OpKind.LOAD:
+        # Keep the load where its consumers execute.
+        for edge in state.graph.out_edges(node.id):
+            if edge.kind is DepKind.REG and state.schedule.is_scheduled(edge.dst):
+                return state.schedule.cluster(edge.dst)
+    return None
+
+
+def select_cluster(state: SchedulerState, node: Node) -> int:
+    """Choose the cluster for ``node`` (Section 3.3.1).
+
+    For single-cluster machines this is always cluster 0.
+    """
+    machine = state.machine
+    if machine.clusters == 1:
+        return 0
+    pinned = _pinned_cluster(state, node)
+    if pinned is not None:
+        return pinned
+
+    window = dependence_window(
+        state.graph,
+        state.schedule,
+        node,
+        machine,
+        distance_gauge=state.params.distance_gauge if node.is_spill else None,
+    )
+    resource = _resource_for(node.kind)
+
+    best_cluster = 0
+    best_key: tuple | None = None
+    for cluster in range(machine.clusters):
+        has_slot = (
+            find_free_slot(state.schedule, node, cluster, window) is not None
+        )
+        moves = moves_required(state, node, cluster)
+        occupancy = state.schedule.mrt.occupancy_fraction(resource, cluster)
+        # Lexicographic preference: slot available, fewest moves, least
+        # occupied FU, lowest index (determinism).
+        key = (not has_slot, moves, occupancy, cluster)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_cluster = cluster
+    return best_cluster

@@ -1,0 +1,15 @@
+"""VLIW code generation from modulo schedules (paper step 7)."""
+
+from repro.codegen.emitter import (
+    GeneratedCode,
+    Instruction,
+    generate_code,
+)
+from repro.codegen.mve import modulo_variable_expansion_factor
+
+__all__ = [
+    "GeneratedCode",
+    "Instruction",
+    "generate_code",
+    "modulo_variable_expansion_factor",
+]

@@ -1,0 +1,237 @@
+"""Emission of software-pipelined VLIW code.
+
+Turns a converged :class:`ScheduleResult` into explicit instruction
+bundles: a **prologue** filling the pipeline (stages 0..SC-2 start one
+after another), an unrolled steady-state **kernel** (one copy per modulo
+variable expansion instance, with per-copy register renaming), and an
+**epilogue** draining the pipeline.  An operation scheduled at stage *s*
+of an SC-stage schedule appears ``SC - 1 - s`` times in the prologue,
+once per kernel copy, and ``s`` times in the epilogue - the invariant the
+tests pin down.
+
+Registers are assigned with the wrap-around allocator of
+:mod:`repro.schedule.regalloc`; expanded values get one architectural
+register per kernel copy (``r7.k1`` denotes copy 1's instance).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.result import ScheduleResult
+from repro.codegen.mve import modulo_variable_expansion_factor
+from repro.graph.ddg import DepKind
+from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.regalloc import allocate_registers
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One operation slot inside a bundle.
+
+    Attributes:
+        node: the dependence-graph node id this instance executes.
+        mnemonic: operation mnemonic (``add``, ``move``...).
+        cluster: executing cluster.
+        stage: kernel stage of the operation.
+        copy: kernel copy (MVE instance) this instance belongs to.
+        dest: destination register name (``None`` for stores).
+        sources: source register names.
+    """
+
+    node: int
+    mnemonic: str
+    cluster: int
+    stage: int
+    copy: int
+    dest: str | None
+    sources: tuple[str, ...]
+
+    def render(self) -> str:
+        operands = ", ".join(self.sources) if self.sources else ""
+        target = f"{self.dest} <- " if self.dest else ""
+        return f"c{self.cluster}.{self.mnemonic} {target}{operands}".rstrip()
+
+
+@dataclasses.dataclass
+class GeneratedCode:
+    """The emitted software pipeline.
+
+    ``prologue``, ``kernel`` and ``epilogue`` are lists of *bundles*;
+    each bundle is the list of instructions issuing in one cycle.
+    """
+
+    loop: str
+    ii: int
+    stage_count: int
+    mve_factor: int
+    prologue: list[list[Instruction]]
+    kernel: list[list[Instruction]]
+    epilogue: list[list[Instruction]]
+
+    @property
+    def kernel_cycles(self) -> int:
+        """Cycles per kernel pass (II x MVE copies)."""
+        return self.ii * self.mve_factor
+
+    def all_instructions(self) -> list[Instruction]:
+        bundles = self.prologue + self.kernel + self.epilogue
+        return [inst for bundle in bundles for inst in bundle]
+
+    def render(self) -> str:
+        """Full textual listing."""
+        lines = [
+            f"; loop {self.loop}: II={self.ii}, {self.stage_count} stages, "
+            f"MVE x{self.mve_factor}"
+        ]
+
+        def emit(title: str, bundles: list[list[Instruction]]) -> None:
+            lines.append(f"{title}:")
+            for index, bundle in enumerate(bundles):
+                ops = " | ".join(inst.render() for inst in bundle) or "nop"
+                lines.append(f"  {index:4d}: {ops}")
+
+        emit("prologue", self.prologue)
+        emit("kernel", self.kernel)
+        emit("epilogue", self.epilogue)
+        return "\n".join(lines)
+
+
+def _register_names(result: ScheduleResult, mve: int) -> dict[int, list[str]]:
+    """value id -> register name per kernel copy."""
+    graph = result.graph
+    machine = result.machine
+    schedule = PartialSchedule(machine, result.ii)
+    for node in sorted(graph.nodes(), key=lambda n: n.id):
+        schedule.place(
+            node,
+            result.clusters[node.id],
+            result.times[node.id],
+            src_cluster=node.src_cluster,
+        )
+    analysis = LifetimeAnalysis(graph, schedule, machine)
+    allocations = allocate_registers(graph, schedule, machine, analysis)
+    lifetime_of = {lt.value: lt for lt in analysis.lifetimes}
+
+    names: dict[int, list[str]] = {}
+    for cluster, allocation in allocations.items():
+        for value, registers in allocation.assignment.items():
+            base = registers[-1] if registers else 0
+            lifetime = lifetime_of.get(value)
+            expanded = (
+                lifetime is not None and lifetime.length > result.ii and mve > 1
+            )
+            if expanded:
+                names[value] = [
+                    f"c{cluster}:r{base}.k{copy}" for copy in range(mve)
+                ]
+            else:
+                names[value] = [f"c{cluster}:r{base}"] * mve
+    return names
+
+
+def _instruction(
+    result: ScheduleResult,
+    node_id: int,
+    stage: int,
+    copy: int,
+    registers: dict[int, list[str]],
+    mve: int,
+) -> Instruction:
+    graph = result.graph
+    node = graph.node(node_id)
+    sources = []
+    for edge in graph.in_edges(node_id):
+        if edge.kind is not DepKind.REG:
+            continue
+        # The operand comes from the copy that produced it: `distance`
+        # iterations (hence kernel copies) earlier.
+        source_copy = (copy - edge.distance) % mve
+        sources.append(registers[edge.src][source_copy])
+    for invariant in graph.invariants_of(node_id):
+        sources.append(f"inv:{invariant.name}")
+    dest = registers.get(node_id, [None] * mve)[copy] if (
+        node.produces_value and node_id in registers
+    ) else None
+    return Instruction(
+        node=node_id,
+        mnemonic=node.kind.value,
+        cluster=result.clusters[node_id],
+        stage=stage,
+        copy=copy,
+        dest=dest,
+        sources=tuple(sorted(sources)),
+    )
+
+
+def generate_code(result: ScheduleResult) -> GeneratedCode:
+    """Emit prologue / kernel / epilogue for a converged schedule."""
+    if not result.converged or result.graph is None:
+        raise ValueError("code generation needs a converged schedule")
+    ii = result.ii
+    mve = modulo_variable_expansion_factor(result)
+    registers = _register_names(result, mve)
+
+    low = min(result.times.values(), default=0)
+    by_slot: dict[tuple[int, int], list[int]] = {}
+    stage_count = 1
+    for node_id, cycle in result.times.items():
+        row = (cycle - low) % ii
+        stage = (cycle - low) // ii
+        stage_count = max(stage_count, stage + 1)
+        by_slot.setdefault((row, stage), []).append(node_id)
+
+    def bundle(row: int, stages: list[tuple[int, int]]) -> list[Instruction]:
+        """Instructions issuing at one cycle: (stage, copy) pairs."""
+        instructions = []
+        for stage, copy in stages:
+            for node_id in sorted(by_slot.get((row, stage), ())):
+                instructions.append(
+                    _instruction(result, node_id, stage, copy, registers, mve)
+                )
+        return instructions
+
+    # Prologue: iteration i (i = 0..SC-2) starts at cycle i*II; at cycle
+    # c of the fill phase, iteration i executes stage (c//II - i).
+    prologue: list[list[Instruction]] = []
+    for cycle in range(ii * (stage_count - 1)):
+        row = cycle % ii
+        phase = cycle // ii
+        stages = [
+            (phase - i, i % mve) for i in range(phase + 1)
+        ]
+        prologue.append(bundle(row, stages))
+
+    # Kernel: `mve` renamed copies of the II-cycle steady state; copy c
+    # executes stage s on behalf of the iteration started (SC-1-s)
+    # kernel-iterations ago.
+    kernel: list[list[Instruction]] = []
+    for copy in range(mve):
+        for row in range(ii):
+            stages = [
+                (stage, (copy - stage) % mve)
+                for stage in range(stage_count)
+            ]
+            kernel.append(bundle(row, stages))
+
+    # Epilogue: drain stages 1..SC-1 of the last SC-1 iterations.
+    epilogue: list[list[Instruction]] = []
+    for cycle in range(ii * (stage_count - 1)):
+        row = cycle % ii
+        phase = cycle // ii
+        stages = [
+            (stage, (phase - stage) % mve)
+            for stage in range(phase + 1, stage_count)
+        ]
+        epilogue.append(bundle(row, stages))
+
+    return GeneratedCode(
+        loop=result.loop,
+        ii=ii,
+        stage_count=stage_count,
+        mve_factor=mve,
+        prologue=prologue,
+        kernel=kernel,
+        epilogue=epilogue,
+    )

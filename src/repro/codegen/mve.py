@@ -1,0 +1,50 @@
+"""Modulo variable expansion (MVE).
+
+A value whose lifetime exceeds the initiation interval has several
+simultaneously-live instances, one per overlapped iteration.  Without
+rotating register files (which none of the paper's configurations have),
+the kernel must be *unrolled* enough that each live instance can be given
+its own architectural register - the classic modulo variable expansion of
+Lam.  The minimum unroll factor is::
+
+    K = max over values v of ceil(lifetime(v) / II)
+
+Each kernel copy then renames every expanded value's register with the
+copy index.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import ScheduleResult
+from repro.graph.ddg import DepKind
+from repro.graph.latency import node_latency
+
+
+def value_lifetimes(result: ScheduleResult) -> dict[int, int]:
+    """Lifetime length (cycles) of every value in a converged schedule."""
+    if not result.converged or result.graph is None:
+        raise ValueError("code generation needs a converged schedule")
+    graph = result.graph
+    ii = result.ii
+    lengths: dict[int, int] = {}
+    for node in graph.nodes():
+        if not node.produces_value:
+            continue
+        start = result.times[node.id]
+        end = start + node_latency(node, result.machine)
+        for edge in graph.out_edges(node.id):
+            if edge.kind is not DepKind.REG:
+                continue
+            use = result.times[edge.dst] + ii * edge.distance
+            end = max(end, use)
+        lengths[node.id] = end - start
+    return lengths
+
+
+def modulo_variable_expansion_factor(result: ScheduleResult) -> int:
+    """The minimum kernel unroll factor K (1 when no value outlives II)."""
+    lifetimes = value_lifetimes(result)
+    if not lifetimes:
+        return 1
+    ii = result.ii
+    return max(1, max(-(-length // ii) for length in lifetimes.values()))

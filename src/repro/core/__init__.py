@@ -1,0 +1,19 @@
+"""The paper's contribution: the MIRS-C scheduler and its support types."""
+
+from repro.core.mirsc import Mirs, MirsC
+from repro.core.params import MirsParams
+from repro.core.priority import PriorityList
+from repro.core.result import ScheduleResult
+from repro.core.state import SchedulerState, SchedulerStats
+from repro.core.verify import verify_schedule
+
+__all__ = [
+    "Mirs",
+    "MirsC",
+    "MirsParams",
+    "PriorityList",
+    "ScheduleResult",
+    "SchedulerState",
+    "SchedulerStats",
+    "verify_schedule",
+]

@@ -1,0 +1,337 @@
+"""MIRS-C: Modulo scheduling with Integrated Register Spilling and
+Cluster assignment - the paper's contribution (Figure 4).
+
+The driver below follows the paper's skeleton step by step::
+
+    Procedure MIRS-C (G) {
+      S = empty; II = MII;
+      Priority_List = Order_HRMS(G);
+      WHILE (!Priority_List.empty()) {
+    (1)   Budget = Budget_Ratio * Number_Nodes(G);
+    (2)   U = Priority_List.highest_priority();
+    (C1)  i = Select_Cluster(G, S, U);
+    (C2)  WHILE (Need_Move(G, S, U, i)) {
+            move = Add_Move(G, U, i); Schedule(G, S, move, i); }
+    (3)   Schedule(G, S, U, i);
+    (4)   IF (Priority_List.empty()) Register_Allocation(G, S);
+    (5)   Check_and_Insert_Spill(G, S, Priority_List);
+    (6)   IF (Restart_Schedule(G, Budget)) {
+            Re_Initialize(II++, S, Priority_List); GOTO (1); }
+          Budget--;
+      }
+    (7) Print(II, S);
+    }
+
+On a single-cluster machine steps C1/C2 degenerate (the cluster is always
+0 and no moves are ever needed) and the algorithm *is* MIRS [33], the
+non-clustered variant - exposed as :class:`Mirs` for clarity.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConvergenceError
+from repro.cluster.moves import add_move, next_needed_move
+from repro.cluster.selection import select_cluster
+from repro.core.params import MirsParams, max_ii_for
+from repro.core.result import ScheduleResult
+from repro.core.scheduling import schedule_node
+from repro.core.state import SchedulerState
+from repro.core.verify import verify_schedule
+from repro.graph.ddg import DepKind, DependenceGraph
+from repro.graph.mii import compute_mii
+from repro.machine.config import MachineConfig
+from repro.machine.resources import OpKind
+from repro.order.hrms import hrms_order
+from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.regalloc import allocate_registers
+from repro.spill.heuristics import check_and_insert_spill
+from repro.errors import SchedulingError
+
+
+class MirsC:
+    """The MIRS-C scheduler.
+
+    Args:
+        machine: target configuration.
+        params: algorithm parameters (paper defaults when omitted).
+        verify: re-validate every produced schedule (cheap; on by default).
+        strict: with the paper's parameters MIRS-C always converges, so
+            hitting the II cap raises :class:`ConvergenceError`; pass
+            ``strict=False`` (as the parameter-ablation benchmarks do) to
+            get a ``converged=False`` result instead.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        params: MirsParams | None = None,
+        verify: bool = True,
+        strict: bool = True,
+    ):
+        self.machine = machine
+        self.params = params or MirsParams()
+        self.verify = verify
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, graph: DependenceGraph) -> ScheduleResult:
+        """Schedule one loop; always converges (spilling guarantees it)."""
+        started = time.perf_counter()
+        pristine = graph.clone()
+        ordering = hrms_order(pristine, self.machine)
+        mii = compute_mii(pristine, self.machine)
+        limit = max_ii_for(mii, len(pristine), self.params)
+
+        ii = mii
+        restarts = 0
+        while ii <= limit:
+            state = self._attempt(pristine.clone(), ii, ordering.priority)
+            if state is not None:
+                result = self._finalize(
+                    state, mii, restarts, time.perf_counter() - started
+                )
+                return result
+            restarts += 1
+            ii = max(ii + 1, self._suggested_ii)
+        if self.strict:
+            raise ConvergenceError(
+                f"MIRS-C failed to schedule {graph.name} within II <= {limit}",
+                last_ii=ii,
+            )
+        return ScheduleResult(
+            loop=pristine.name,
+            machine=self.machine,
+            converged=False,
+            ii=limit,
+            mii=mii,
+            restarts=restarts,
+            scheduling_seconds=time.perf_counter() - started,
+            trip_count=pristine.trip_count,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _attempt(
+        self,
+        graph: DependenceGraph,
+        ii: int,
+        priorities: dict[int, float],
+    ) -> SchedulerState | None:
+        """One scheduling attempt at a fixed II; None requests a restart."""
+        state = SchedulerState(graph, self.machine, ii, priorities, self.params)
+        self._suggested_ii = ii + 1
+        final_rounds = 0
+        max_final_rounds = 3 * self.machine.clusters + 8
+        placements_since_check = 0
+
+        while True:
+            if state.pl.empty():
+                # Steps (4)+(5) in the drained regime: true register
+                # allocation, then spill/balance/eject until it fits.
+                acted = check_and_insert_spill(state, final=True)
+                if state.pl.empty():
+                    if self._fits_registers(state):
+                        return state
+                    final_rounds += 1
+                    if not acted or final_rounds > max_final_rounds:
+                        return None
+                    continue
+
+            # Step (6): Restart_Schedule conditions.
+            if state.budget <= 0:
+                return None
+            if state.memory_traffic_infeasible():
+                self._suggested_ii = state.suggested_restart_ii()
+                return None
+
+            # Step (2): pick the highest-priority node.
+            node_id = state.pl.pop()
+            if node_id not in state.graph:
+                continue  # removed move still queued
+            if state.schedule.is_scheduled(node_id):
+                continue
+            node = state.graph.node(node_id)
+
+            if node.is_move:
+                self._reschedule_move(state, node_id)
+                state.budget -= 1
+                continue
+
+            # Step (C1): cluster selection.
+            cluster = select_cluster(state, node)
+
+            # Step (C2): insert and schedule the needed moves.
+            guard = 0
+            while True:
+                plan = next_needed_move(state, node, cluster)
+                if plan is None:
+                    break
+                move = add_move(state, plan)
+                schedule_node(state, move, plan.dst_cluster)
+                guard += 1
+                if guard > 4 * self.machine.clusters + 8:
+                    # Communication livelock: burn budget so the restart
+                    # rule eventually fires.
+                    state.budget -= guard
+                    break
+
+            # Step (3): schedule U itself.
+            schedule_node(state, node, cluster)
+
+            # Steps (4)+(5): register pressure check (gauged regime).
+            placements_since_check += 1
+            if (
+                placements_since_check >= self.params.spill_check_interval
+                or state.pl.empty()
+            ):
+                placements_since_check = 0
+                check_and_insert_spill(state, final=False)
+            state.budget -= 1
+
+    # ------------------------------------------------------------------
+
+    def _reschedule_move(self, state: SchedulerState, move_id: int) -> None:
+        """Re-place a move that was ejected by a resource conflict.
+
+        The paper re-validates communication decisions when operations
+        are picked up again: a move whose endpoints changed or vanished
+        is removed, and the ordinary Need_Move machinery recreates it
+        later if it is still required.
+        """
+        move = state.graph.node(move_id)
+        consumers = [
+            e.dst
+            for e in state.graph.out_edges(move_id)
+            if e.kind is DepKind.REG and state.schedule.is_scheduled(e.dst)
+        ]
+        if not consumers:
+            state.remove_move(move_id)
+            return
+        # The value must arrive where the consumer *reads* it: a consumer
+        # that is itself a move (a chained communication) reads in its
+        # declared source cluster, not in the cluster it executes in.
+        first = state.graph.node(consumers[0])
+        if first.is_move and first.src_cluster is not None:
+            dst_cluster = first.src_cluster
+        else:
+            dst_cluster = state.schedule.cluster(consumers[0])
+        if move.move_of_invariant is None:
+            producers = [
+                e.src
+                for e in state.graph.in_edges(move_id)
+                if e.kind is DepKind.REG
+            ]
+            if not producers or not state.schedule.is_scheduled(producers[0]):
+                state.remove_move(move_id)
+                return
+            src_cluster = state.schedule.cluster(producers[0])
+            if src_cluster == dst_cluster:
+                state.remove_move(move_id)
+                return
+            move.src_cluster = src_cluster
+        schedule_node(state, move, dst_cluster)
+
+    # ------------------------------------------------------------------
+
+    def _fits_registers(self, state: SchedulerState) -> bool:
+        available = state.machine.cluster.registers
+        if available is None:
+            return True
+        allocations = allocate_registers(
+            state.graph,
+            state.schedule,
+            state.machine,
+            spilled_invariants=state.spilled_invariants,
+        )
+        return all(
+            alloc.registers_used <= available
+            for alloc in allocations.values()
+        )
+
+    def _finalize(
+        self,
+        state: SchedulerState,
+        mii: int,
+        restarts: int,
+        elapsed: float,
+    ) -> ScheduleResult:
+        graph = state.graph
+        schedule = state.schedule
+        analysis = LifetimeAnalysis(
+            graph, schedule, state.machine,
+            spilled_invariants=state.spilled_invariants,
+        )
+        allocations = allocate_registers(
+            graph, schedule, state.machine, analysis,
+            spilled_invariants=state.spilled_invariants,
+        )
+        times = {n: schedule.time(n) for n in schedule.scheduled_ids()}
+        clusters = {n: schedule.cluster(n) for n in schedule.scheduled_ids()}
+        register_usage = {
+            c: a.registers_used for c, a in allocations.items()
+        }
+        result = ScheduleResult(
+            loop=graph.name,
+            machine=state.machine,
+            converged=True,
+            ii=state.ii,
+            mii=mii,
+            times=times,
+            clusters=clusters,
+            register_usage=register_usage,
+            max_live={
+                c: analysis.max_live(c)
+                for c in range(state.machine.clusters)
+            },
+            memory_traffic=state.memory_operation_count(),
+            spill_operations=sum(
+                1 for n in graph.nodes() if n.is_spill
+            ),
+            move_operations=graph.count_kind(OpKind.MOVE),
+            stage_count=max(1, schedule.stage_count()),
+            restarts=restarts,
+            scheduling_seconds=elapsed,
+            stats=state.stats,
+            graph=graph,
+            trip_count=graph.trip_count,
+        )
+        if self.verify:
+            violations = verify_schedule(
+                graph,
+                state.machine,
+                state.ii,
+                times,
+                clusters,
+                register_usage,
+            )
+            if violations:
+                raise SchedulingError(
+                    f"MIRS-C produced an invalid schedule for {graph.name}: "
+                    + "; ".join(violations[:5])
+                )
+        return result
+
+
+class Mirs(MirsC):
+    """MIRS - the non-clustered special case of MIRS-C [33].
+
+    On a single-cluster machine MIRS-C's cluster steps are inert, so MIRS
+    is implemented as MIRS-C restricted to ``clusters == 1``; constructing
+    it with a clustered machine is an error.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        params: MirsParams | None = None,
+        verify: bool = True,
+    ):
+        if machine.clusters != 1:
+            raise SchedulingError(
+                "Mirs targets unified (single-cluster) machines; "
+                "use MirsC for clustered configurations"
+            )
+        super().__init__(machine, params=params, verify=verify)

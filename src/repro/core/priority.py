@@ -1,0 +1,73 @@
+"""The PriorityList driving the iterative scheduler.
+
+Nodes are picked highest-priority first; ejected nodes "are returned to
+the PriorityList with their original priority" (Section 3.2.2), and spill
+or move nodes inherit priorities adjacent to their associated
+producer/consumer nodes (Sections 3.1 and 3.2.3).
+
+Implemented as a heap with lazy invalidation so membership changes (ejected
+moves being removed from the graph, for example) stay O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import SchedulingError
+
+
+class PriorityList:
+    """Max-priority queue of node ids with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []
+        self._members: set[int] = set()
+        self._counter = itertools.count()
+        self.priority: dict[int, float] = {}
+
+    def set_priority(self, node_id: int, priority: float) -> None:
+        """Record the (original) priority of a node without queueing it."""
+        self.priority[node_id] = priority
+
+    def push(self, node_id: int, priority: float | None = None) -> None:
+        """Queue a node.  Without an explicit priority the node's recorded
+        original priority is used (the ejection rule of the paper)."""
+        if priority is not None:
+            self.priority[node_id] = priority
+        if node_id not in self.priority:
+            raise SchedulingError(f"node {node_id} has no priority assigned")
+        if node_id in self._members:
+            return
+        self._members.add(node_id)
+        heapq.heappush(
+            self._heap,
+            (-self.priority[node_id], next(self._counter), node_id),
+        )
+
+    def pop(self) -> int:
+        """Remove and return the highest-priority queued node."""
+        while self._heap:
+            _, _, node_id = heapq.heappop(self._heap)
+            if node_id in self._members:
+                self._members.remove(node_id)
+                return node_id
+        raise SchedulingError("pop from empty PriorityList")
+
+    def discard(self, node_id: int) -> None:
+        """Drop a node from the queue if present (lazy removal).
+
+        The recorded priority is kept: a node discarded because it was
+        removed from the graph never returns, and one discarded
+        temporarily keeps its original priority as the paper requires.
+        """
+        self._members.discard(node_id)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def empty(self) -> bool:
+        return not self._members

@@ -1,0 +1,82 @@
+"""Schedule results and derived metrics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.state import SchedulerStats
+from repro.graph.ddg import DependenceGraph
+from repro.machine.config import MachineConfig
+
+
+@dataclasses.dataclass
+class ScheduleResult:
+    """The outcome of scheduling one loop on one machine configuration.
+
+    Attributes:
+        loop: the loop's name.
+        machine: the target configuration.
+        converged: False when the scheduler gave up (possible for the
+            non-iterative baseline; MIRS-C always converges).
+        ii: achieved initiation interval (meaningless when not converged).
+        mii: the lower bound the search started from.
+        times / clusters: per-node issue cycles and cluster assignments.
+        register_usage: physical registers used per cluster (after
+            allocation).
+        max_live: MaxLive per cluster.
+        memory_traffic: memory operations per iteration, spill included.
+        spill_operations: spill loads+stores inserted.
+        move_operations: inter-cluster moves in the final schedule.
+        stage_count: kernel stages (depth of iteration overlap).
+        restarts: times the II had to be increased.
+        scheduling_seconds: wall-clock time spent scheduling.
+        stats: low-level scheduler counters.
+        graph: the final dependence graph (with spill/move nodes), used by
+            the memory-hierarchy simulator.
+        trip_count: loop trip count (from the workload).
+    """
+
+    loop: str
+    machine: MachineConfig
+    converged: bool
+    ii: int
+    mii: int
+    times: dict[int, int] = dataclasses.field(default_factory=dict)
+    clusters: dict[int, int] = dataclasses.field(default_factory=dict)
+    register_usage: dict[int, int] = dataclasses.field(default_factory=dict)
+    max_live: dict[int, int] = dataclasses.field(default_factory=dict)
+    memory_traffic: int = 0
+    spill_operations: int = 0
+    move_operations: int = 0
+    stage_count: int = 1
+    restarts: int = 0
+    scheduling_seconds: float = 0.0
+    stats: SchedulerStats = dataclasses.field(default_factory=SchedulerStats)
+    graph: DependenceGraph | None = None
+    trip_count: int = 0
+
+    @property
+    def execution_cycles(self) -> int:
+        """Kernel cycles to run the whole loop, prologue/epilogue included.
+
+        A software-pipelined loop with SC kernel stages executes for
+        ``II * (N + SC - 1)`` cycles over N iterations.
+        """
+        if not self.converged:
+            raise ValueError(f"loop {self.loop} did not converge")
+        overlap = max(0, self.stage_count - 1)
+        return self.ii * (self.trip_count + overlap)
+
+    @property
+    def total_registers_used(self) -> int:
+        return sum(self.register_usage.values())
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "ok" if self.converged else "NOT CONVERGED"
+        return (
+            f"{self.loop}: II={self.ii} (MII={self.mii}) [{status}] "
+            f"traffic={self.memory_traffic} moves={self.move_operations} "
+            f"spills={self.spill_operations} "
+            f"regs={self.register_usage}"
+        )

@@ -1,0 +1,94 @@
+"""Independent validation of finished schedules.
+
+Every schedule returned by either scheduler is re-checked from first
+principles - dependence edges, resource reservations, cluster-locality of
+register values, register-file capacity.  The verifier shares no state
+with the schedulers (it rebuilds a fresh MRT), so it catches scheduler
+bugs instead of inheriting them; the property-based tests lean on it
+heavily.
+"""
+
+from __future__ import annotations
+
+from repro.graph.ddg import DepKind, DependenceGraph
+from repro.graph.latency import edge_latency
+from repro.machine.config import MachineConfig
+from repro.schedule.mrt import ModuloReservationTable
+from repro.errors import SchedulingError
+
+
+def verify_schedule(
+    graph: DependenceGraph,
+    machine: MachineConfig,
+    ii: int,
+    times: dict[int, int],
+    clusters: dict[int, int],
+    register_usage: dict[int, int] | None = None,
+) -> list[str]:
+    """Return a list of violations (empty = the schedule is valid)."""
+    violations: list[str] = []
+
+    for node in graph.nodes():
+        if node.id not in times:
+            violations.append(f"node {node.name} is not scheduled")
+        elif node.id not in clusters:
+            violations.append(f"node {node.name} has no cluster")
+
+    # Dependences: t(dst) >= t(src) + latency - II * distance.
+    for edge in graph.edges():
+        if edge.src not in times or edge.dst not in times:
+            continue
+        latency = edge_latency(graph, edge, machine)
+        slack = times[edge.dst] - times[edge.src] - latency + ii * edge.distance
+        if slack < 0:
+            violations.append(
+                f"dependence {edge.src}->{edge.dst} (d={edge.distance}) "
+                f"violated by {-slack} cycles"
+            )
+
+    # Register values must be consumed in the cluster that holds them.
+    for edge in graph.edges():
+        if edge.kind is not DepKind.REG:
+            continue
+        if edge.src not in clusters or edge.dst not in clusters:
+            continue
+        dst_node = graph.node(edge.dst)
+        if dst_node.is_move:
+            if dst_node.src_cluster != clusters[edge.src]:
+                violations.append(
+                    f"move {edge.dst} reads value {edge.src} from cluster "
+                    f"{clusters[edge.src]} but declares source "
+                    f"{dst_node.src_cluster}"
+                )
+        elif clusters[edge.src] != clusters[edge.dst]:
+            violations.append(
+                f"register value {edge.src} (cluster {clusters[edge.src]}) "
+                f"consumed cross-cluster by {edge.dst} "
+                f"(cluster {clusters[edge.dst]})"
+            )
+
+    # Resources: replay every reservation into a fresh MRT.
+    mrt = ModuloReservationTable(machine, ii)
+    for node in sorted(graph.nodes(), key=lambda n: n.id):
+        if node.id not in times or node.id not in clusters:
+            continue
+        try:
+            mrt.place(
+                node,
+                clusters[node.id],
+                times[node.id],
+                src_cluster=node.src_cluster,
+            )
+        except SchedulingError as exc:
+            violations.append(f"resource conflict: {exc}")
+
+    # Register files.
+    available = machine.cluster.registers
+    if available is not None and register_usage is not None:
+        for cluster, used in register_usage.items():
+            if used > available:
+                violations.append(
+                    f"cluster {cluster} uses {used} registers "
+                    f"but only {available} exist"
+                )
+    return violations

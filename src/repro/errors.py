@@ -1,0 +1,42 @@
+"""Exception types used across the MIRS-C reproduction.
+
+Every failure mode that a caller may reasonably want to catch has its own
+exception class; all of them derive from :class:`ReproError` so that a
+single ``except ReproError`` is enough to guard a whole scheduling run.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A machine configuration is malformed or internally inconsistent."""
+
+
+class GraphError(ReproError):
+    """A dependence graph operation was invalid (unknown node, bad edge...)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler reached an internally inconsistent state."""
+
+
+class ConvergenceError(SchedulingError):
+    """A scheduler failed to find a valid schedule within its II budget.
+
+    The paper's baseline algorithm [31] exhibits exactly this failure mode
+    on register-constrained configurations (Table 2, column "Not Cnvr");
+    MIRS-C itself is expected never to raise it because spilling always
+    provides an escape hatch.
+    """
+
+    def __init__(self, message: str, last_ii: int | None = None):
+        super().__init__(message)
+        self.last_ii = last_ii
+
+
+class AllocationError(ReproError):
+    """Register allocation could not complete with the given register file."""

@@ -1,0 +1,26 @@
+"""Experiment drivers: one function per table/figure of the paper."""
+
+from repro.eval.runner import schedule_suite, SuiteRun
+from repro.eval.reporting import render_table
+from repro.eval.experiments import (
+    figure2_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+)
+
+__all__ = [
+    "schedule_suite",
+    "SuiteRun",
+    "render_table",
+    "figure2_rows",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "figure5_rows",
+    "figure6_rows",
+    "figure7_rows",
+]

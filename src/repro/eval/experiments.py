@@ -1,0 +1,337 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each ``*_rows`` function runs the required schedules and returns
+``(headers, rows, note)`` ready for :func:`repro.eval.reporting.render_table`.
+The benchmark files under ``benchmarks/`` are thin wrappers that time
+these drivers and print the tables; EXPERIMENTS.md records how each
+reproduction compares with the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import MirsParams
+from repro.eval.runner import SuiteRun, schedule_suite
+from repro.machine.config import (
+    MachineConfig,
+    paper_configuration,
+    scalability_configuration,
+)
+from repro.machine.technology import TechnologyModel
+from repro.memsim.prefetch import apply_binding_prefetch
+from repro.memsim.stall import MemoryModel
+from repro.workloads.perfect import SuiteLoop
+
+Rows = tuple[list[str], list[list], str]
+
+
+# ----------------------------------------------------------------------
+# Figure 2: cycle time / area / power of the register file organisations
+# ----------------------------------------------------------------------
+
+def figure2_rows(
+    clusters: tuple[int, ...] = (1, 2, 4),
+    registers: tuple[int, ...] = (16, 32, 64, 128),
+    technology: TechnologyModel | None = None,
+) -> Rows:
+    """Figure 2: technology cost of unified vs clustered register files."""
+    technology = technology or TechnologyModel()
+    headers = ["k", "regs/cluster", "cycle time (ns)", "area (a.u.)", "power (a.u.)"]
+    rows: list[list] = []
+    for k in clusters:
+        for z in registers:
+            machine = paper_configuration(k, z)
+            rows.append(
+                [
+                    k,
+                    z,
+                    round(technology.cycle_time_ns(machine), 3),
+                    round(technology.area(machine), 0),
+                    round(technology.power(machine), 1),
+                ]
+            )
+    note = (
+        "Anchors (Section 1): 4-cluster/64-reg cycle time slightly below "
+        "unified/16-reg; area ~ unified/32-reg; power ~ unified/16-reg."
+    )
+    return headers, rows, note
+
+
+# ----------------------------------------------------------------------
+# Tables 1 and 2: MIRS-C vs the non-iterative scheduler [31]
+# ----------------------------------------------------------------------
+
+def _differing(a: SuiteRun, b: SuiteRun, common: set[int]) -> set[int]:
+    """Loops whose schedules differ in II and/or memory traffic."""
+    return {
+        i
+        for i in common
+        if a.results[i].ii != b.results[i].ii
+        or a.results[i].memory_traffic != b.results[i].memory_traffic
+    }
+
+
+def table1_rows(
+    loops: tuple[SuiteLoop, ...],
+    clusters: tuple[int, ...] = (1, 2, 4),
+    move_latencies: tuple[int, ...] = (1, 3),
+    params: MirsParams | None = None,
+) -> Rows:
+    """Table 1: unbounded registers - schedule quality head to head."""
+    headers = [
+        "k", "Lm", "loops", "not different", "different",
+        "sum II [31]", "sum II MIRS-C", "II ratio",
+    ]
+    rows: list[list] = []
+    for k in clusters:
+        for lm in move_latencies:
+            machine = paper_configuration(k, None, move_latency=lm)
+            base = schedule_suite(machine, loops, "baseline", params)
+            ours = schedule_suite(machine, loops, "mirsc", params)
+            common = base.converged_indices() & ours.converged_indices()
+            different = _differing(base, ours, common)
+            sum_base = base.sum_ii(different)
+            sum_ours = ours.sum_ii(different)
+            ratio = sum_ours / sum_base if sum_base else 1.0
+            rows.append(
+                [
+                    k, lm, len(loops), len(common) - len(different),
+                    len(different), sum_base, sum_ours, round(ratio, 3),
+                ]
+            )
+    note = (
+        "Paper: MIRS-C reduces sum-II by factors ~0.95 / 0.93 / 0.91 for "
+        "1 / 2 / 4 clusters; the gap grows with the cluster count."
+    )
+    return headers, rows, note
+
+
+def table2_rows(
+    loops: tuple[SuiteLoop, ...],
+    clusters: tuple[int, ...] = (1, 2, 4),
+    move_latencies: tuple[int, ...] = (1, 3),
+    total_registers: int = 64,
+    params: MirsParams | None = None,
+) -> Rows:
+    """Table 2: register files constrained to k x z = 64 in total."""
+    headers = [
+        "k", "Lm", "not cnvr [31]", "different",
+        "sum II [31]", "sum II MIRS-C", "II ratio",
+        "sum trf [31]", "sum trf MIRS-C", "trf ratio",
+    ]
+    rows: list[list] = []
+    for k in clusters:
+        z = total_registers // k
+        for lm in move_latencies:
+            machine = paper_configuration(k, z, move_latency=lm)
+            base = schedule_suite(machine, loops, "baseline", params)
+            ours = schedule_suite(machine, loops, "mirsc", params)
+            common = base.converged_indices() & ours.converged_indices()
+            different = _differing(base, ours, common)
+            sum_ii_base = base.sum_ii(different)
+            sum_ii_ours = ours.sum_ii(different)
+            sum_trf_base = base.sum_traffic(different)
+            sum_trf_ours = ours.sum_traffic(different)
+            rows.append(
+                [
+                    k, lm, base.not_converged_count, len(different),
+                    sum_ii_base, sum_ii_ours,
+                    round(sum_ii_ours / sum_ii_base, 3) if sum_ii_base else 1.0,
+                    sum_trf_base, sum_trf_ours,
+                    round(sum_trf_ours / sum_trf_base, 3) if sum_trf_base else 1.0,
+                ]
+            )
+    note = (
+        "Paper (k=4, Lm=3): MIRS-C lowers II by ~0.63x at the cost of "
+        "~1.44x memory traffic; [31] fails to converge on its biggest loops."
+    )
+    return headers, rows, note
+
+
+def table3_rows(
+    loops: tuple[SuiteLoop, ...],
+    move_latencies: tuple[int, ...] = (1, 3),
+    params: MirsParams | None = None,
+) -> Rows:
+    """Table 3: scheduling time of [31] vs MIRS-C.
+
+    Rows follow the paper: unbounded-register and register-constrained
+    variants of the 1-, 2- and 4-cluster machines; the [31] column
+    covers only the loops it converges on (the paper's footnote), while
+    MIRS-C also pays for the loops [31] gives up on.
+    """
+    configs: list[tuple[int, int | None]] = [
+        (1, None), (1, 64), (2, None), (2, 32), (4, None), (4, 16),
+    ]
+    headers = [
+        "config", "Lm", "loops [31]",
+        "time [31] (s)", "time MIRS-C (s)", "time MIRS-C all (s)",
+    ]
+    rows: list[list] = []
+    for k, z in configs:
+        for lm in move_latencies:
+            machine = paper_configuration(k, z, move_latency=lm)
+            base = schedule_suite(machine, loops, "baseline", params)
+            ours = schedule_suite(machine, loops, "mirsc", params)
+            common = base.converged_indices()
+            label = f"{k} x {'inf' if z is None else z}"
+            rows.append(
+                [
+                    label, lm, len(common),
+                    round(base.sum_scheduling_seconds(common), 2),
+                    round(ours.sum_scheduling_seconds(common), 2),
+                    round(ours.sum_scheduling_seconds(), 2),
+                ]
+            )
+    note = (
+        "Paper: MIRS-C is competitive, and slightly faster on register-"
+        "constrained configs (spilling avoids full reschedules); the "
+        "loops [31] cannot schedule are the largest, so MIRS-C's 'all' "
+        "column is dominated by them."
+    )
+    return headers, rows, note
+
+
+# ----------------------------------------------------------------------
+# Figure 5: ideal-memory evaluation of the configuration space
+# ----------------------------------------------------------------------
+
+def figure5_rows(
+    loops: tuple[SuiteLoop, ...],
+    clusters: tuple[int, ...] = (1, 2, 4),
+    registers: tuple[int, ...] = (16, 32, 64, 128),
+    move_latencies: tuple[int, ...] = (1, 3),
+    params: MirsParams | None = None,
+    technology: TechnologyModel | None = None,
+) -> Rows:
+    """Figure 5: execution cycles, memory traffic and execution time."""
+    technology = technology or TechnologyModel()
+    headers = [
+        "Lm", "k", "regs/cluster",
+        "exec cycles (M)", "memory ops (M)", "exec time (ms)",
+    ]
+    rows: list[list] = []
+    for lm in move_latencies:
+        for k in clusters:
+            for z in registers:
+                machine = paper_configuration(k, z, move_latency=lm)
+                run = schedule_suite(machine, loops, "mirsc", params)
+                cycles = run.sum_cycles()
+                mem_ops = sum(
+                    r.memory_traffic * r.trip_count
+                    for r in run.converged
+                )
+                exec_ns = technology.execution_time_ns(machine, cycles)
+                rows.append(
+                    [
+                        lm, k, z,
+                        round(cycles / 1e6, 4),
+                        round(mem_ops / 1e6, 4),
+                        round(exec_ns / 1e6, 4),
+                    ]
+                )
+    note = (
+        "Paper: more clusters -> more cycles (+8% at k=2, +19% at k=4 for "
+        "64 total registers) but lower execution time once the cycle time "
+        "is factored in; minimum time at 64 registers in total."
+    )
+    return headers, rows, note
+
+
+# ----------------------------------------------------------------------
+# Figure 6: scalability with cluster count and bus count
+# ----------------------------------------------------------------------
+
+def figure6_rows(
+    loops: tuple[SuiteLoop, ...],
+    clusters: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    bus_counts: tuple[int | None, ...] = (2, 3, 4, None),
+    params: MirsParams | None = None,
+) -> Rows:
+    """Figure 6: replicate a GP2M1-REG32 cluster k times, sweep buses."""
+    headers = ["buses", "k", "sum cycles (M)", "speedup vs k=1"]
+    rows: list[list] = []
+    for buses in bus_counts:
+        baseline_cycles = None
+        for k in clusters:
+            machine = scalability_configuration(k, buses=buses)
+            run = schedule_suite(machine, loops, "mirsc", params)
+            cycles = run.sum_cycles()
+            if k == clusters[0]:
+                baseline_cycles = cycles
+            speedup = baseline_cycles / cycles if cycles else 0.0
+            rows.append(
+                [
+                    "inf" if buses is None else buses,
+                    k,
+                    round(cycles / 1e6, 4),
+                    round(speedup, 3),
+                ]
+            )
+    note = (
+        "Paper: the organisation scales well whenever the number of buses "
+        "is close to k/2; with only 2 buses the speedup saturates beyond "
+        "~4 clusters."
+    )
+    return headers, rows, note
+
+
+# ----------------------------------------------------------------------
+# Figure 7: real memory and selective binding prefetching
+# ----------------------------------------------------------------------
+
+def figure7_rows(
+    loops: tuple[SuiteLoop, ...],
+    configs: tuple[tuple[int, int], ...] = (
+        (1, 64), (1, 128), (2, 32), (2, 64), (4, 32), (4, 64),
+    ),
+    params: MirsParams | None = None,
+    technology: TechnologyModel | None = None,
+) -> Rows:
+    """Figure 7: useful/stall cycles and execution time, with and without
+    selective binding prefetching."""
+    technology = technology or TechnologyModel()
+    memory = MemoryModel(technology)
+    headers = [
+        "mode", "k", "regs/cluster",
+        "useful (rel)", "stall (rel)", "exec time (rel)",
+    ]
+    # Normalisation reference: useful cycles of 1-(GP8M4-REG64), hit
+    # latency scheduling (the paper's reference configuration).
+    reference_machine = paper_configuration(1, 64)
+    reference = schedule_suite(reference_machine, loops, "mirsc", params)
+    ref_useful = float(reference.sum_cycles()) or 1.0
+    ref_time = technology.execution_time_ns(reference_machine, ref_useful)
+
+    rows: list[list] = []
+    for mode in ("normal", "prefetch"):
+        for k, z in configs:
+            machine = paper_configuration(k, z)
+            if mode == "prefetch":
+                graphs = [
+                    apply_binding_prefetch(loop.graph, machine, technology)
+                    for loop in loops
+                ]
+            else:
+                graphs = None
+            run = schedule_suite(machine, loops, "mirsc", params, graphs=graphs)
+            useful = 0.0
+            stall = 0.0
+            for result in run.converged:
+                report = memory.evaluate(result)
+                useful += report.useful_cycles
+                stall += report.stall_cycles
+            total_ns = technology.execution_time_ns(machine, useful + stall)
+            rows.append(
+                [
+                    mode, k, z,
+                    round(useful / ref_useful, 3),
+                    round(stall / ref_useful, 3),
+                    round(total_ns / ref_time, 3),
+                ]
+            )
+    note = (
+        "Paper: prefetching removes most stall cycles; factoring in cycle "
+        "time, the best clustered configurations beat the unified one by "
+        "~1.19x (k=2) and ~1.46x (k=4)."
+    )
+    return headers, rows, note

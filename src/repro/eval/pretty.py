@@ -1,0 +1,58 @@
+"""Human-readable rendering of modulo schedules.
+
+Formats the kernel of a software-pipelined loop as a table of II rows
+(one per issue cycle of the steady state) with one column per cluster,
+annotating each operation with its stage number - the standard way of
+reading a modulo schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import ScheduleResult
+
+
+def format_kernel(result: ScheduleResult) -> str:
+    """Render the kernel of a converged schedule."""
+    if not result.converged or result.graph is None:
+        return f"{result.loop}: NOT CONVERGED"
+    ii = result.ii
+    machine = result.machine
+    low = min(result.times.values(), default=0)
+    cells: dict[tuple[int, int], list[str]] = {}
+    for node in result.graph.nodes():
+        t = result.times[node.id]
+        cluster = result.clusters[node.id]
+        row = (t - low) % ii
+        stage = (t - low) // ii
+        label = node.name
+        if node.is_move:
+            label = f"{node.name}[c{node.src_cluster}->c{cluster}]"
+        elif node.is_spill:
+            label = f"{node.name}*"
+        cells.setdefault((row, cluster), []).append(f"{label}({stage})")
+
+    header = [f"cluster {c}" for c in range(machine.clusters)]
+    widths = [max(len(h), 12) for h in header]
+    for (row, cluster), ops in cells.items():
+        widths[cluster] = max(widths[cluster], len(" ".join(sorted(ops))))
+
+    lines = [
+        f"loop {result.loop} on {machine.name}: II={result.ii} "
+        f"(MII={result.mii}), {result.stage_count} stages, "
+        f"regs/cluster={result.register_usage}",
+        "cycle | " + " | ".join(
+            h.ljust(w) for h, w in zip(header, widths)
+        ),
+        "------+-" + "-+-".join("-" * w for w in widths),
+    ]
+    for row in range(ii):
+        row_cells = []
+        for cluster in range(machine.clusters):
+            ops = sorted(cells.get((row, cluster), []))
+            row_cells.append(" ".join(ops).ljust(widths[cluster]))
+        lines.append(f"{row:5d} | " + " | ".join(row_cells))
+    lines.append(
+        "(n) = kernel stage; moves show [source->destination]; "
+        "* marks spill code"
+    )
+    return "\n".join(lines)

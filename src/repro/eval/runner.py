@@ -1,0 +1,115 @@
+"""Suite execution helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.baseline.noniterative import NonIterativeScheduler
+from repro.core.mirsc import MirsC
+from repro.core.params import MirsParams
+from repro.core.result import ScheduleResult
+from repro.machine.config import MachineConfig
+from repro.workloads.perfect import SuiteLoop, cached_suite
+
+#: Environment variable selecting the workbench subset size used by the
+#: benchmarks (the full paper-scale run uses REPRO_BENCH_LOOPS=1258).
+LOOPS_ENV = "REPRO_BENCH_LOOPS"
+DEFAULT_BENCH_LOOPS = 16
+
+
+def bench_loop_count(default: int = DEFAULT_BENCH_LOOPS) -> int:
+    """Workbench subset size, configurable via ``REPRO_BENCH_LOOPS``."""
+    value = os.environ.get(LOOPS_ENV)
+    if not value:
+        return default
+    return max(1, int(value))
+
+
+def bench_suite(count: int | None = None) -> tuple[SuiteLoop, ...]:
+    """The (cached) workbench subset used by the benchmarks."""
+    return cached_suite(count or bench_loop_count())
+
+
+@dataclasses.dataclass
+class SuiteRun:
+    """Results of one scheduler over one suite on one machine."""
+
+    machine: MachineConfig
+    scheduler_name: str
+    results: list[ScheduleResult]
+
+    @property
+    def converged(self) -> list[ScheduleResult]:
+        return [r for r in self.results if r.converged]
+
+    @property
+    def not_converged_count(self) -> int:
+        return sum(1 for r in self.results if not r.converged)
+
+    def sum_ii(self, indices: set[int] | None = None) -> int:
+        return sum(
+            r.ii
+            for i, r in enumerate(self.results)
+            if r.converged and (indices is None or i in indices)
+        )
+
+    def sum_traffic(self, indices: set[int] | None = None) -> int:
+        """Summed memory operations per iteration (the paper's "trf")."""
+        return sum(
+            r.memory_traffic
+            for i, r in enumerate(self.results)
+            if r.converged and (indices is None or i in indices)
+        )
+
+    def sum_cycles(self, indices: set[int] | None = None) -> int:
+        return sum(
+            r.execution_cycles
+            for i, r in enumerate(self.results)
+            if r.converged and (indices is None or i in indices)
+        )
+
+    def sum_scheduling_seconds(self, indices: set[int] | None = None) -> float:
+        return sum(
+            r.scheduling_seconds
+            for i, r in enumerate(self.results)
+            if indices is None or i in indices
+        )
+
+    def converged_indices(self) -> set[int]:
+        return {i for i, r in enumerate(self.results) if r.converged}
+
+
+def schedule_suite(
+    machine: MachineConfig,
+    loops: tuple[SuiteLoop, ...] | list[SuiteLoop],
+    scheduler: str = "mirsc",
+    params: MirsParams | None = None,
+    graphs=None,
+) -> SuiteRun:
+    """Run one scheduler over a workbench subset.
+
+    Args:
+        machine: target configuration.
+        loops: workbench loops.
+        scheduler: ``"mirsc"`` or ``"baseline"``.
+        params: algorithm parameters.
+        graphs: optional per-loop replacement graphs (used by the
+            prefetching experiments, which re-latency the loads).
+    """
+    if scheduler == "mirsc":
+        # Non-strict: off-default parameter ablations (e.g. a starved
+        # budget) may legitimately fail to converge; the aggregations
+        # already handle unconverged entries.
+        engine = MirsC(machine, params=params, strict=False)
+    elif scheduler == "baseline":
+        engine = NonIterativeScheduler(machine, params=params)
+    else:
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    results = []
+    for index, loop in enumerate(loops):
+        graph = graphs[index] if graphs is not None else loop.graph
+        results.append(engine.schedule(graph))
+    return SuiteRun(
+        machine=machine, scheduler_name=scheduler, results=results
+    )

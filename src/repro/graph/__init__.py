@@ -1,0 +1,27 @@
+"""Loop dependence graphs and minimum initiation interval analysis."""
+
+from repro.graph.ddg import (
+    DepKind,
+    DependenceGraph,
+    Edge,
+    Invariant,
+    MemRef,
+    Node,
+)
+from repro.graph.builder import LoopBuilder
+from repro.graph.mii import compute_mii, resource_mii
+from repro.graph.recurrences import find_recurrences, recurrence_mii
+
+__all__ = [
+    "DepKind",
+    "DependenceGraph",
+    "Edge",
+    "Invariant",
+    "MemRef",
+    "Node",
+    "LoopBuilder",
+    "compute_mii",
+    "resource_mii",
+    "find_recurrences",
+    "recurrence_mii",
+]

@@ -1,0 +1,127 @@
+"""A small fluent DSL for constructing loop dependence graphs by hand.
+
+Used by the examples, the tests, and anywhere a loop must be written down
+explicitly.  Example - a dot-product-style reduction::
+
+    b = LoopBuilder("dot", trip_count=1000)
+    x = b.load(array=0)
+    y = b.load(array=1)
+    p = b.mul(x, y)
+    s = b.add(p)                 # running sum ...
+    b.loop_carried(s, s, distance=1)   # ... carried across iterations
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.graph.ddg import DependenceGraph, DepKind, Invariant, MemRef, Node
+from repro.machine.resources import OpKind
+
+
+class LoopBuilder:
+    """Fluent builder producing a :class:`DependenceGraph`."""
+
+    def __init__(self, name: str = "loop", trip_count: int = 100):
+        self._graph = DependenceGraph(name=name, trip_count=trip_count)
+        self._array_counter = 0
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _op(self, kind: OpKind, *operands: Node | Invariant, **attrs) -> Node:
+        node = self._graph.new_node(kind, **attrs)
+        for operand in operands:
+            if isinstance(operand, Invariant):
+                operand.consumers.add(node.id)
+            else:
+                self._graph.add_edge(operand.id, node.id, kind=DepKind.REG)
+        return node
+
+    def add(self, *operands: Node | Invariant, **attrs) -> Node:
+        """An addition/subtraction-class operation (4-cycle, pipelined)."""
+        return self._op(OpKind.ADD, *operands, **attrs)
+
+    def mul(self, *operands: Node | Invariant, **attrs) -> Node:
+        """A multiplication (4-cycle, pipelined)."""
+        return self._op(OpKind.MUL, *operands, **attrs)
+
+    def div(self, *operands: Node | Invariant, **attrs) -> Node:
+        """A division (17-cycle, unpipelined)."""
+        return self._op(OpKind.DIV, *operands, **attrs)
+
+    def sqrt(self, *operands: Node | Invariant, **attrs) -> Node:
+        """A square root (30-cycle, unpipelined)."""
+        return self._op(OpKind.SQRT, *operands, **attrs)
+
+    def load(
+        self,
+        *operands: Node | Invariant,
+        array: int | None = None,
+        offset: int = 0,
+        stride: int = 1,
+        **attrs,
+    ) -> Node:
+        """A load; ``array``/``offset``/``stride`` describe its address
+        stream for the cache simulator (a fresh array is allocated when
+        none is given)."""
+        if array is None:
+            array = self._new_array()
+        mem_ref = MemRef(array=array, offset=offset, stride=stride)
+        return self._op(OpKind.LOAD, *operands, mem_ref=mem_ref, **attrs)
+
+    def store(
+        self,
+        *operands: Node | Invariant,
+        array: int | None = None,
+        offset: int = 0,
+        stride: int = 1,
+        **attrs,
+    ) -> Node:
+        """A store of the given operand values."""
+        if array is None:
+            array = self._new_array()
+        mem_ref = MemRef(array=array, offset=offset, stride=stride)
+        return self._op(OpKind.STORE, *operands, mem_ref=mem_ref, **attrs)
+
+    def invariant(self, name: str = "") -> Invariant:
+        """A loop-invariant value (consumed via passing it as an operand)."""
+        inv = self._graph.new_invariant()
+        if name:
+            inv.name = name
+        return inv
+
+    # ------------------------------------------------------------------
+    # Extra dependences
+    # ------------------------------------------------------------------
+
+    def loop_carried(self, src: Node, dst: Node, distance: int = 1) -> None:
+        """A loop-carried register dependence (recurrence edge)."""
+        self._graph.add_edge(
+            src.id, dst.id, kind=DepKind.REG, distance=distance
+        )
+
+    def memory_dep(
+        self, src: Node, dst: Node, distance: int = 0
+    ) -> None:
+        """A memory ordering dependence (e.g. store -> load aliasing)."""
+        self._graph.add_edge(
+            src.id, dst.id, kind=DepKind.MEM, distance=distance
+        )
+
+    def control_dep(self, src: Node, dst: Node, distance: int = 0) -> None:
+        """A control dependence."""
+        self._graph.add_edge(
+            src.id, dst.id, kind=DepKind.CTRL, distance=distance
+        )
+
+    # ------------------------------------------------------------------
+
+    def _new_array(self) -> int:
+        self._array_counter += 1
+        return self._array_counter
+
+    def build(self) -> DependenceGraph:
+        """Validate and return the constructed graph."""
+        self._graph.validate()
+        return self._graph

@@ -1,0 +1,60 @@
+"""Minimum initiation interval (MII) computation.
+
+``MII = max(ResMII, RecMII)`` where
+
+* ``ResMII`` is the resource-constrained bound: total busy cycles
+  demanded from each resource class divided by the number of instances,
+  rounded up.  Unpipelined operations (div, sqrt) contribute their whole
+  occupancy, and - because a single physical unit must host all the
+  reservations of one operation - ResMII is additionally bounded below by
+  the largest single-operation occupancy.
+* ``RecMII`` is the recurrence-constrained bound (see
+  :mod:`repro.graph.recurrences`).
+
+Cluster counts enter ResMII through the *total* number of functional
+units; the degradation caused by splitting them into clusters (move
+traffic, bus conflicts) is precisely what the schedulers must fight, so it
+is deliberately not part of the lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.ddg import DependenceGraph
+from repro.graph.recurrences import recurrence_mii
+from repro.machine.config import MachineConfig
+from repro.machine.reservation import max_occupancy
+from repro.machine.resources import OpKind
+
+
+def resource_mii(graph: DependenceGraph, machine: MachineConfig) -> int:
+    """Resource-constrained lower bound on the initiation interval."""
+    busy_gp = 0
+    busy_mem = 0
+    busy_moves = 0
+    for node in graph.nodes():
+        if node.kind.is_compute:
+            busy_gp += machine.occupancy(node.kind)
+        elif node.kind.is_memory:
+            busy_mem += 1
+        elif node.kind is OpKind.MOVE:
+            busy_moves += 1
+    bounds = [1]
+    if busy_gp:
+        bounds.append(math.ceil(busy_gp / machine.total_gp_units))
+        bounds.append(max_occupancy(machine, graph.kinds()))
+    if busy_mem:
+        if machine.total_mem_ports == 0:
+            raise ValueError("graph has memory operations but no memory ports")
+        bounds.append(math.ceil(busy_mem / machine.total_mem_ports))
+    if busy_moves and machine.buses is not None:
+        bounds.append(math.ceil(busy_moves / machine.buses))
+    return max(bounds)
+
+
+def compute_mii(graph: DependenceGraph, machine: MachineConfig) -> int:
+    """``max(ResMII, RecMII)`` - the scheduler's starting II."""
+    if len(graph) == 0:
+        return 1
+    return max(resource_mii(graph, machine), recurrence_mii(graph, machine))

@@ -1,0 +1,199 @@
+"""Recurrence (cyclic dependence) analysis and RecMII computation.
+
+A *recurrence circuit* is a dependence cycle; the initiation interval of
+any legal modulo schedule satisfies, for every circuit ``C``::
+
+    II >= ceil( sum(latency(e) for e in C) / sum(distance(e) for e in C) )
+
+``RecMII`` is the maximum of this bound over all circuits.  Enumerating
+circuits is exponential, so we instead binary-search the smallest II for
+which the edge weights ``latency(e) - II * distance(e)`` admit no
+positive-weight cycle, checked with a vectorized Floyd-Warshall longest
+path closure (max-plus algebra) - an exact, polynomial algorithm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+from repro.graph.latency import edge_latency
+from repro.machine.config import MachineConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class Recurrence:
+    """A strongly connected component containing at least one circuit.
+
+    Attributes:
+        nodes: the member node ids.
+        rec_mii: the RecMII bound imposed by the circuits inside this
+            component alone.
+    """
+
+    nodes: frozenset[int]
+    rec_mii: int
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _to_networkx(graph: DependenceGraph) -> nx.MultiDiGraph:
+    result = nx.MultiDiGraph()
+    result.add_nodes_from(graph.node_ids())
+    for edge in graph.edges():
+        result.add_edge(edge.src, edge.dst)
+    return result
+
+
+def _has_positive_cycle(
+    weights: np.ndarray, distances: np.ndarray, ii: int
+) -> bool:
+    """True if ``weights - ii * distances`` contains a positive cycle.
+
+    Both inputs are dense ``n x n`` max-plus adjacency matrices with
+    ``-inf`` marking absent edges (parallel edges already collapsed to the
+    most constraining one per candidate II by the caller).
+    """
+    matrix = weights - ii * distances
+    n = matrix.shape[0]
+    closure = matrix.copy()
+    for k in range(n):
+        via_k = closure[:, k, None] + closure[None, k, :]
+        np.maximum(closure, via_k, out=closure)
+    return bool((np.diagonal(closure) > 0).any())
+
+
+def _dense_matrices(
+    graph: DependenceGraph,
+    machine: MachineConfig,
+    node_ids: Sequence[int],
+) -> list[tuple[int, int, int, int]]:
+    """Edge list restricted to ``node_ids`` as (si, di, latency, distance)."""
+    index = {node_id: i for i, node_id in enumerate(node_ids)}
+    rows = []
+    for edge in graph.edges():
+        if edge.src in index and edge.dst in index:
+            rows.append(
+                (
+                    index[edge.src],
+                    index[edge.dst],
+                    edge_latency(graph, edge, machine),
+                    edge.distance,
+                )
+            )
+    return rows
+
+
+def _rec_mii_of(
+    graph: DependenceGraph,
+    machine: MachineConfig,
+    node_ids: Sequence[int],
+) -> int:
+    """Exact RecMII over the subgraph induced by ``node_ids``."""
+    edges = _dense_matrices(graph, machine, node_ids)
+    if not edges:
+        return 1
+    n = len(node_ids)
+
+    def feasible(ii: int) -> bool:
+        weights = np.full((n, n), -np.inf)
+        distances = np.zeros((n, n))
+        # Collapse parallel edges to the most constraining weight at this
+        # candidate II.
+        for si, di, lat, dist in edges:
+            w = lat - ii * dist
+            if w > weights[si, di] - ii * distances[si, di]:
+                weights[si, di] = lat
+                distances[si, di] = dist
+        return not _has_positive_cycle(weights, distances, ii)
+
+    low = 1
+    high = max(1, sum(lat for (_, _, lat, _) in edges))
+    if feasible(low):
+        return low
+    if not feasible(high):
+        # A cycle whose total distance is zero can never be scheduled:
+        # its bound grows without limit.
+        raise GraphError(
+            "dependence graph contains a zero-distance circuit; "
+            "no initiation interval can satisfy it"
+        )
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if feasible(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def find_recurrences(
+    graph: DependenceGraph, machine: MachineConfig
+) -> list[Recurrence]:
+    """All recurrence components, most critical (highest RecMII) first.
+
+    Ties are broken by component size (larger first) and then by the
+    smallest member id, so the result is deterministic.
+    """
+    digraph = _to_networkx(graph)
+    recurrences = []
+    for component in nx.strongly_connected_components(digraph):
+        nodes = frozenset(component)
+        is_cyclic = len(nodes) > 1 or any(
+            edge.dst == edge.src
+            for node_id in nodes
+            for edge in graph.out_edges(node_id)
+        )
+        if not is_cyclic:
+            continue
+        rec_mii = _rec_mii_of(graph, machine, sorted(nodes))
+        recurrences.append(Recurrence(nodes=nodes, rec_mii=rec_mii))
+    recurrences.sort(key=lambda r: (-r.rec_mii, -len(r.nodes), min(r.nodes)))
+    return recurrences
+
+
+def recurrence_mii(graph: DependenceGraph, machine: MachineConfig) -> int:
+    """RecMII of the whole graph (1 if the graph is acyclic)."""
+    if len(graph) == 0:
+        return 1
+    return _rec_mii_of(graph, machine, graph.node_ids())
+
+
+def recurrence_nodes(recurrences: list[Recurrence]) -> set[int]:
+    """Union of the member nodes of the given recurrences."""
+    members: set[int] = set()
+    for recurrence in recurrences:
+        members |= recurrence.nodes
+    return members
+
+
+def circuit_bound(
+    graph: DependenceGraph, machine: MachineConfig, circuit: Sequence[int]
+) -> int:
+    """RecMII bound of one explicit circuit (mainly for tests).
+
+    ``circuit`` is a node sequence; the edge chosen between consecutive
+    nodes is the most constraining parallel edge.
+    """
+    total_latency = 0
+    total_distance = 0
+    for src, dst in zip(circuit, list(circuit[1:]) + [circuit[0]]):
+        candidates = [e for e in graph.out_edges(src) if e.dst == dst]
+        if not candidates:
+            raise ValueError(f"no edge {src} -> {dst} in circuit")
+        best = max(
+            candidates,
+            key=lambda e: (edge_latency(graph, e, machine), -e.distance),
+        )
+        total_latency += edge_latency(graph, best, machine)
+        total_distance += best.distance
+    if total_distance == 0:
+        raise ValueError("circuit with zero total distance is unschedulable")
+    return math.ceil(total_latency / total_distance)

@@ -1,0 +1,263 @@
+"""Machine configurations: ``k-(GPxMy-REGz)`` clustered VLIW cores.
+
+The paper names its configurations ``k-(GPxMy-REGz)``: *k* clusters, each
+with *x* general-purpose FP units, *y* memory ports and *z* registers.
+Every cluster additionally has one input and one output port used by the
+inter-cluster ``move`` operations, and the clusters are connected by a
+small number of shared buses (2 in most experiments; Figure 6 sweeps 2, 3,
+4 and unbounded).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+
+from repro.errors import ConfigError
+from repro.machine.resources import (
+    DEFAULT_LATENCIES,
+    UNPIPELINED,
+    OpKind,
+    ResourceClass,
+)
+
+_CONFIG_RE = re.compile(
+    r"^(?P<k>\d+)-\(GP(?P<x>\d+)M(?P<y>\d+)-REG(?P<z>\d+|inf)\)$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Resources of a single cluster.
+
+    Attributes:
+        gp_units: number of general-purpose FP functional units (*x*).
+        mem_ports: number of load/store ports (*y*).
+        registers: register file size (*z*); ``None`` models the paper's
+            "unbounded number of registers" experiments (Table 1).
+    """
+
+    gp_units: int
+    mem_ports: int
+    registers: int | None
+
+    def __post_init__(self) -> None:
+        if self.gp_units < 1:
+            raise ConfigError("a cluster needs at least one GP unit")
+        if self.mem_ports < 0:
+            raise ConfigError("negative number of memory ports")
+        if self.registers is not None and self.registers < 1:
+            raise ConfigError("register file must have at least one entry")
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """A complete clustered VLIW core.
+
+    Attributes:
+        clusters: number of clusters (*k*).
+        cluster: per-cluster resources (all clusters are identical).
+        buses: number of inter-cluster buses; ``None`` means unbounded
+            (used by the Figure 6 scalability study).
+        move_latency: latency of a move operation, ``lambda_m`` (1 or 3 in
+            the paper).
+        latencies: per-operation-kind latency table.  Defaults to the
+            paper's values (add/mul 4, div 17, sqrt 30, load 2, store 1).
+    """
+
+    clusters: int
+    cluster: ClusterConfig
+    buses: int | None = 2
+    move_latency: int = 1
+    latencies: dict[OpKind, int] = dataclasses.field(
+        default_factory=lambda: dict(DEFAULT_LATENCIES)
+    )
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ConfigError("need at least one cluster")
+        if self.buses is not None and self.buses < 1:
+            raise ConfigError("need at least one bus (or None for unbounded)")
+        if self.move_latency < 1:
+            raise ConfigError("move latency must be positive")
+        for kind, lat in self.latencies.items():
+            if lat < 1:
+                raise ConfigError(f"latency of {kind} must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The paper's ``k-(GPxMy-REGz)`` name for this configuration."""
+        regs = "inf" if self.cluster.registers is None else self.cluster.registers
+        return (
+            f"{self.clusters}-(GP{self.cluster.gp_units}"
+            f"M{self.cluster.mem_ports}-REG{regs})"
+        )
+
+    @property
+    def total_gp_units(self) -> int:
+        return self.clusters * self.cluster.gp_units
+
+    @property
+    def total_mem_ports(self) -> int:
+        return self.clusters * self.cluster.mem_ports
+
+    @property
+    def total_registers(self) -> int | None:
+        if self.cluster.registers is None:
+            return None
+        return self.clusters * self.cluster.registers
+
+    @property
+    def is_clustered(self) -> bool:
+        return self.clusters > 1
+
+    # ------------------------------------------------------------------
+    # Operation properties
+    # ------------------------------------------------------------------
+
+    def latency(self, kind: OpKind) -> int:
+        """Latency in cycles of an operation of the given kind."""
+        if kind is OpKind.MOVE:
+            return self.move_latency
+        return self.latencies[kind]
+
+    def occupancy(self, kind: OpKind) -> int:
+        """Cycles during which the operation's FU stays busy.
+
+        Fully-pipelined operations occupy their unit for a single cycle;
+        division and square root block it for their whole latency.
+        Memory and move operations are always pipelined.
+        """
+        if kind in UNPIPELINED:
+            return self.latency(kind)
+        return 1
+
+    def instances(self, resource: ResourceClass) -> int | None:
+        """Number of instances of a resource class (per cluster, except
+        for buses which are global).  ``None`` means unbounded."""
+        if resource is ResourceClass.GP_FU:
+            return self.cluster.gp_units
+        if resource is ResourceClass.MEM_PORT:
+            return self.cluster.mem_ports
+        if resource in (ResourceClass.OUT_PORT, ResourceClass.IN_PORT):
+            # One send and one receive port per cluster (Section 4).
+            return 1
+        return self.buses
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def with_registers(self, registers: int | None) -> "MachineConfig":
+        """A copy of this configuration with a different register file."""
+        return dataclasses.replace(
+            self,
+            cluster=dataclasses.replace(self.cluster, registers=registers),
+        )
+
+    def with_move_latency(self, move_latency: int) -> "MachineConfig":
+        """A copy of this configuration with a different move latency."""
+        return dataclasses.replace(self, move_latency=move_latency)
+
+    def with_buses(self, buses: int | None) -> "MachineConfig":
+        """A copy of this configuration with a different bus count."""
+        return dataclasses.replace(self, buses=buses)
+
+
+def parse_config(
+    name: str,
+    *,
+    buses: int | None = 2,
+    move_latency: int = 1,
+) -> MachineConfig:
+    """Parse a ``k-(GPxMy-REGz)`` configuration name.
+
+    ``REGinf`` denotes an unbounded register file (Table 1 experiments).
+
+    >>> parse_config("4-(GP2M1-REG32)").total_registers
+    128
+    """
+    match = _CONFIG_RE.match(name.strip())
+    if match is None:
+        raise ConfigError(
+            f"cannot parse machine configuration {name!r}; expected the "
+            "paper's k-(GPxMy-REGz) syntax, e.g. '2-(GP4M2-REG64)'"
+        )
+    regs_text = match.group("z")
+    registers = None if regs_text == "inf" else int(regs_text)
+    return MachineConfig(
+        clusters=int(match.group("k")),
+        cluster=ClusterConfig(
+            gp_units=int(match.group("x")),
+            mem_ports=int(match.group("y")),
+            registers=registers,
+        ),
+        buses=buses,
+        move_latency=move_latency,
+    )
+
+
+def paper_configuration(
+    clusters: int,
+    registers_per_cluster: int | None,
+    *,
+    move_latency: int = 1,
+    buses: int | None = 2,
+) -> MachineConfig:
+    """Build one of the paper's standard configurations.
+
+    The evaluation fixes ``k * x = 8`` GP units and ``k * y = 4`` memory
+    ports in total (Section 4), so the per-cluster resources follow from
+    the cluster count alone.
+    """
+    if 8 % clusters or 4 % clusters:
+        raise ConfigError(
+            f"the paper's resource totals (8 GP units, 4 memory ports) "
+            f"cannot be split evenly over {clusters} clusters"
+        )
+    return MachineConfig(
+        clusters=clusters,
+        cluster=ClusterConfig(
+            gp_units=8 // clusters,
+            mem_ports=4 // clusters,
+            registers=registers_per_cluster,
+        ),
+        buses=buses,
+        move_latency=move_latency,
+    )
+
+
+def scalability_configuration(
+    clusters: int,
+    *,
+    buses: int | None = 2,
+    move_latency: int = 1,
+    registers_per_cluster: int | None = 32,
+) -> MachineConfig:
+    """Build a Figure 6 scalability configuration.
+
+    The scalability study replicates a fixed ``GP2M1-REG32`` cluster
+    element *k* times (k = 1..8) instead of splitting a fixed resource
+    total, and sweeps the number of buses.
+    """
+    if clusters < 1:
+        raise ConfigError("need at least one cluster")
+    return MachineConfig(
+        clusters=clusters,
+        cluster=ClusterConfig(
+            gp_units=2, mem_ports=1, registers=registers_per_cluster
+        ),
+        buses=buses,
+        move_latency=move_latency,
+    )
+
+
+def minimum_buses_for(clusters: int) -> int:
+    """The paper's rule of thumb: the interconnect scales well whenever
+    the number of buses is close to ``k / 2`` (Section 4.2, Figure 6)."""
+    return max(1, math.ceil(clusters / 2))

@@ -1,0 +1,23 @@
+"""Memory-hierarchy substrate for the Section 4.3 experiments.
+
+Implements the paper's memory system: a multi-ported, lockup-free 32 KB
+cache with 32-byte lines and up to 8 pending misses, hit latencies of
+2 (read) / 1 (write) cycles and a 25 ns miss latency converted to cycles
+per configuration - plus the *selective binding prefetching* policy of
+Sánchez & González [30] used to tolerate misses.
+"""
+
+from repro.memsim.cache import CacheConfig, LockupFreeCache
+from repro.memsim.trace import loop_miss_rates
+from repro.memsim.prefetch import apply_binding_prefetch, PrefetchPolicy
+from repro.memsim.stall import MemoryModel, StallReport
+
+__all__ = [
+    "CacheConfig",
+    "LockupFreeCache",
+    "loop_miss_rates",
+    "apply_binding_prefetch",
+    "PrefetchPolicy",
+    "MemoryModel",
+    "StallReport",
+]

@@ -1,0 +1,99 @@
+"""A lockup-free set-associative cache simulator.
+
+Models the cache of Section 4.3: 32 KB, 32-byte lines, multi-ported,
+lockup-free with up to 8 pending misses (MSHRs).  The simulator is a
+functional (timing-light) model: it tracks hits and misses per memory
+operation; the translation of misses into processor stall cycles is the
+job of :mod:`repro.memsim.stall`, which accounts for latency tolerance
+and miss overlap.
+
+The paper does not state the associativity; we use 2-way LRU and record
+that choice in DESIGN.md note (d) territory - direct-mapped and 4-way are
+exposed for sensitivity testing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of the simulated cache."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    associativity: int = 2
+    mshrs: int = 8
+    read_hit_latency: int = 2
+    write_hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigError("cache size and line size must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ConfigError(
+                "cache size must be a multiple of line size x associativity"
+            )
+        if self.associativity < 1:
+            raise ConfigError("associativity must be at least 1")
+        if self.mshrs < 1:
+            raise ConfigError("a lockup-free cache needs at least one MSHR")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class LockupFreeCache:
+    """Functional cache model with LRU replacement.
+
+    Access order should follow program order (the schedule's issue order)
+    so that intra-loop reuse and conflict behaviour are realistic.
+    """
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        # set index -> list of tags, most recently used last.
+        self._sets: dict[int, list[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one byte address; returns True on hit.
+
+        Writes allocate (write-allocate policy) - a reasonable default
+        for numeric store-streams and consistent across configurations.
+        """
+        cfg = self.config
+        line = address // cfg.line_bytes
+        index = line % cfg.num_sets
+        tag = line // cfg.num_sets
+        ways = self._sets.setdefault(index, [])
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > cfg.associativity:
+            ways.pop(0)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

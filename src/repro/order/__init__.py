@@ -1,0 +1,9 @@
+"""Node pre-ordering (HRMS strategy, Section 3.1 of the paper)."""
+
+from repro.order.hrms import (
+    OrderingResult,
+    hrms_order,
+    ordering_property_violations,
+)
+
+__all__ = ["OrderingResult", "hrms_order", "ordering_property_violations"]

@@ -1,0 +1,268 @@
+"""HRMS-style node pre-ordering.
+
+MIRS-C pre-orders the nodes of the dependence graph into a *PriorityList*
+using the HRMS strategy [22] (Section 3.1).  The published contract of
+that ordering, which the scheduler relies on, is:
+
+1. **recurrences first** - priority is given to recurrence circuits, the
+   most critical (highest RecMII) first, so that no recurrence is
+   stretched by later placement decisions;
+2. **neighbour property** - when a node is scheduled, the partial
+   schedule contains only predecessors of the node or only successors of
+   it, never both (the sole exception being the node that closes a
+   recurrence circuit).  This lets every node be placed flush against its
+   scheduled neighbours, minimizing lifetimes.
+
+The ordering is produced by hypernode-style alternating sweeps: each node
+set (a recurrence together with the nodes on paths connecting it to
+already-ordered sets, then the remaining weakly-connected components) is
+consumed by alternating top-down passes (following successor edges from
+ordered nodes) and bottom-up passes (following predecessor edges), exactly
+the mechanism that guarantees property 2.  See DESIGN.md substitution
+note (a).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+
+from repro.graph.ddg import DependenceGraph
+from repro.graph.latency import edge_latency
+from repro.graph.recurrences import find_recurrences
+from repro.machine.config import MachineConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderingResult:
+    """The pre-ordering of a graph.
+
+    Attributes:
+        order: node ids, highest priority first.
+        priority: node id -> priority value (higher = scheduled earlier);
+            priorities are spaced one unit apart so that spill and move
+            nodes can later be slotted between existing priorities.
+        recurrence_nodes: ids that belong to some recurrence circuit.
+    """
+
+    order: tuple[int, ...]
+    priority: dict[int, float]
+    recurrence_nodes: frozenset[int]
+
+
+def _depths_and_heights(
+    graph: DependenceGraph, machine: MachineConfig
+) -> tuple[dict[int, int], dict[int, int]]:
+    """Longest-latency-path depth (from roots) and height (to sinks).
+
+    Computed on the *condensation* of the full dependence graph: strongly
+    connected components collapse to single vertices, so every remaining
+    edge (including loop-carried ones between different components)
+    contributes its latency.  Heights then decrease *strictly* along
+    every inter-component edge, which is what guarantees that the
+    max-height sweeps below order predecessors before successors
+    everywhere outside recurrence circuits.
+    """
+    digraph = _full_digraph(graph)
+    components = list(nx.strongly_connected_components(digraph))
+    component_of = {
+        node: index
+        for index, members in enumerate(components)
+        for node in members
+    }
+    dag = nx.DiGraph()
+    dag.add_nodes_from(range(len(components)))
+    latency: dict[tuple[int, int], int] = {}
+    for edge in graph.edges():
+        src_c = component_of[edge.src]
+        dst_c = component_of[edge.dst]
+        if src_c == dst_c:
+            continue
+        lat = edge_latency(graph, edge, machine)
+        key = (src_c, dst_c)
+        latency[key] = max(latency.get(key, 0), lat)
+        dag.add_edge(src_c, dst_c)
+
+    order = list(nx.topological_sort(dag))
+    comp_depth = {c: 0 for c in order}
+    for component in order:
+        for pred in dag.predecessors(component):
+            comp_depth[component] = max(
+                comp_depth[component],
+                comp_depth[pred] + latency[(pred, component)],
+            )
+    comp_height = {c: 0 for c in order}
+    for component in reversed(order):
+        for succ in dag.successors(component):
+            comp_height[component] = max(
+                comp_height[component],
+                comp_height[succ] + latency[(component, succ)],
+            )
+    depth = {node: comp_depth[component_of[node]] for node in graph.node_ids()}
+    height = {node: comp_height[component_of[node]] for node in graph.node_ids()}
+    return depth, height
+
+
+def _full_digraph(graph: DependenceGraph) -> nx.DiGraph:
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(graph.node_ids())
+    for edge in graph.edges():
+        if edge.src != edge.dst:
+            digraph.add_edge(edge.src, edge.dst)
+    return digraph
+
+
+def _priority_node_sets(
+    graph: DependenceGraph, machine: MachineConfig
+) -> tuple[list[set[int]], frozenset[int]]:
+    """Node sets in the order they must be consumed.
+
+    Recurrences come first (most critical first), each widened with the
+    nodes lying on paths between it and the previously consumed sets, so
+    that the connection is ordered before jumping into the new recurrence.
+    The leftovers are grouped by weakly connected component.
+    """
+    recurrences = find_recurrences(graph, machine)
+    digraph = _full_digraph(graph)
+    sets: list[set[int]] = []
+    consumed: set[int] = set()
+    for recurrence in recurrences:
+        members = set(recurrence.nodes)
+        if consumed:
+            path_nodes: set[int] = set()
+            down = _reachable(digraph, consumed) & _reaching(digraph, members)
+            up = _reachable(digraph, members) & _reaching(digraph, consumed)
+            path_nodes = (down | up) - consumed - members
+            if path_nodes:
+                sets.append(path_nodes)
+                consumed |= path_nodes
+        sets.append(members)
+        consumed |= members
+    rest = set(graph.node_ids()) - consumed
+    if rest:
+        undirected = digraph.to_undirected()
+        components = [
+            set(component) & rest
+            for component in nx.connected_components(undirected)
+        ]
+        components = [c for c in components if c]
+        components.sort(key=lambda c: (-len(c), min(c)))
+        sets.extend(components)
+    recurrence_ids = frozenset(
+        node for recurrence in recurrences for node in recurrence.nodes
+    )
+    return sets, recurrence_ids
+
+
+def _reachable(digraph: nx.DiGraph, sources: set[int]) -> set[int]:
+    seen = set(sources)
+    frontier = list(sources)
+    while frontier:
+        node = frontier.pop()
+        for succ in digraph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+def _reaching(digraph: nx.DiGraph, targets: set[int]) -> set[int]:
+    seen = set(targets)
+    frontier = list(targets)
+    while frontier:
+        node = frontier.pop()
+        for pred in digraph.predecessors(node):
+            if pred not in seen:
+                seen.add(pred)
+                frontier.append(pred)
+    return seen
+
+
+def hrms_order(
+    graph: DependenceGraph, machine: MachineConfig
+) -> OrderingResult:
+    """Pre-order the nodes of ``graph`` (see module docstring)."""
+    if len(graph) == 0:
+        return OrderingResult(order=(), priority={}, recurrence_nodes=frozenset())
+    depth, height = _depths_and_heights(graph, machine)
+    node_sets, recurrence_ids = _priority_node_sets(graph, machine)
+
+    ordered: list[int] = []
+    placed: set[int] = set()
+
+    def top_down_key(node: int) -> tuple:
+        # Most critical remaining path first; deep nodes last.
+        return (height[node], -depth[node], -node)
+
+    def bottom_up_key(node: int) -> tuple:
+        return (depth[node], -height[node], -node)
+
+    for node_set in node_sets:
+        pending = set(node_set) - placed
+        while pending:
+            from_preds = {
+                n for n in pending if graph.preds(n) & placed
+            }
+            from_succs = {
+                n for n in pending if graph.succs(n) & placed
+            }
+            if from_preds:
+                sweep, direction = set(from_preds), "top-down"
+            elif from_succs:
+                sweep, direction = set(from_succs), "bottom-up"
+            else:
+                # Fresh region: seed with its true sources (no predecessor
+                # inside the pending set).  A recurrence set may have no
+                # sources at all; fall back to its shallowest nodes.
+                sources = {
+                    n for n in pending if not (graph.preds(n) & pending - {n})
+                }
+                if sources:
+                    sweep = sources
+                else:
+                    min_depth = min(depth[n] for n in pending)
+                    sweep = {n for n in pending if depth[n] == min_depth}
+                direction = "top-down"
+            while sweep:
+                if direction == "top-down":
+                    node = max(sweep, key=top_down_key)
+                else:
+                    node = max(sweep, key=bottom_up_key)
+                sweep.discard(node)
+                pending.discard(node)
+                ordered.append(node)
+                placed.add(node)
+                if direction == "top-down":
+                    sweep |= graph.succs(node) & pending
+                else:
+                    sweep |= graph.preds(node) & pending
+
+    total = len(ordered)
+    priority = {node: float(total - index) for index, node in enumerate(ordered)}
+    return OrderingResult(
+        order=tuple(ordered),
+        priority=priority,
+        recurrence_nodes=recurrence_ids,
+    )
+
+
+def ordering_property_violations(
+    graph: DependenceGraph, order: tuple[int, ...]
+) -> list[int]:
+    """Nodes violating the preds-XOR-succs property of the ordering.
+
+    A violation is a node whose already-ordered neighbours include both
+    predecessors and successors.  For a correct HRMS-style ordering only
+    recurrence-closing nodes may appear here, so the list length is
+    bounded by the number of recurrence circuits (asserted by tests).
+    """
+    placed: set[int] = set()
+    violations = []
+    for node in order:
+        preds_in = graph.preds(node) & placed
+        succs_in = graph.succs(node) & placed
+        if preds_in and succs_in:
+            violations.append(node)
+        placed.add(node)
+    return violations

@@ -1,0 +1,20 @@
+"""Modulo scheduling substrate: MRT, partial schedules, lifetimes, regalloc."""
+
+from repro.schedule.mrt import ModuloReservationTable
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.slots import Direction, SlotWindow, dependence_window
+from repro.schedule.lifetimes import LifetimeAnalysis, UseSegment, ValueLifetime
+from repro.schedule.regalloc import RegisterAllocation, allocate_registers
+
+__all__ = [
+    "ModuloReservationTable",
+    "PartialSchedule",
+    "Direction",
+    "SlotWindow",
+    "dependence_window",
+    "LifetimeAnalysis",
+    "UseSegment",
+    "ValueLifetime",
+    "RegisterAllocation",
+    "allocate_registers",
+]

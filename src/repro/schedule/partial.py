@@ -1,0 +1,123 @@
+"""The partial schedule S built incrementally by the iterative algorithm.
+
+Tracks, for every scheduled node, its absolute issue cycle and cluster,
+the order in which nodes were placed (the `Forcing_and_Ejection` heuristic
+evicts the node "that was first placed in the partial schedule S"), and
+the `Prev_Cycle` memory that steers forced placements away from a node's
+previous position (Section 3.2.2, following Huff [16]).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SchedulingError
+from repro.graph.ddg import Node
+from repro.machine.config import MachineConfig
+from repro.schedule.mrt import ModuloReservationTable
+
+
+class PartialSchedule:
+    """Placement state of one scheduling attempt at a fixed II."""
+
+    def __init__(self, machine: MachineConfig, ii: int):
+        self.machine = machine
+        self.ii = ii
+        self.mrt = ModuloReservationTable(machine, ii)
+        self._time: dict[int, int] = {}
+        self._cluster: dict[int, int] = {}
+        self._seq: dict[int, int] = {}
+        self._counter = itertools.count()
+        # Survives ejections (but not II restarts): the cycle each node
+        # occupied the last time it was scheduled.
+        self.prev_cycle: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_scheduled(self, node_id: int) -> bool:
+        return node_id in self._time
+
+    def time(self, node_id: int) -> int:
+        if node_id not in self._time:
+            raise SchedulingError(f"node {node_id} is not scheduled")
+        return self._time[node_id]
+
+    def cluster(self, node_id: int) -> int:
+        if node_id not in self._cluster:
+            raise SchedulingError(f"node {node_id} is not scheduled")
+        return self._cluster[node_id]
+
+    def placement_seq(self, node_id: int) -> int:
+        return self._seq[node_id]
+
+    def scheduled_ids(self) -> list[int]:
+        return list(self._time)
+
+    def __len__(self) -> int:
+        return len(self._time)
+
+    def row(self, node_id: int) -> int:
+        """The MRT row (issue cycle modulo II) of a scheduled node."""
+        return self.time(node_id) % self.ii
+
+    def nodes_in_row(self, row: int, cluster: int | None = None) -> list[int]:
+        """Ids of scheduled nodes issuing in the given MRT row."""
+        return [
+            node_id
+            for node_id, t in self._time.items()
+            if t % self.ii == row
+            and (cluster is None or self._cluster[node_id] == cluster)
+        ]
+
+    def span(self) -> tuple[int, int]:
+        """(min, max) issue cycles of the schedule (0, 0 when empty)."""
+        if not self._time:
+            return (0, 0)
+        times = self._time.values()
+        return (min(times), max(times))
+
+    def stage_count(self) -> int:
+        """Number of kernel stages (depth of iteration overlap)."""
+        low, high = self.span()
+        if not self._time:
+            return 0
+        return (high - low) // self.ii + 1
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def place(
+        self,
+        node: Node,
+        cluster: int,
+        cycle: int,
+        src_cluster: int | None = None,
+    ) -> None:
+        """Place a node; the MRT must accept the reservation."""
+        self.mrt.place(node, cluster, cycle, src_cluster=src_cluster)
+        self._time[node.id] = cycle
+        self._cluster[node.id] = cluster
+        self._seq[node.id] = next(self._counter)
+        self.prev_cycle[node.id] = cycle
+
+    def eject(self, node_id: int) -> tuple[int, int]:
+        """Remove a node from the schedule; returns its old placement.
+
+        ``prev_cycle`` keeps the old cycle so that a forced re-placement
+        explores new cycles instead of ping-ponging.
+        """
+        if node_id not in self._time:
+            raise SchedulingError(f"cannot eject unscheduled node {node_id}")
+        self.mrt.remove(node_id)
+        old = (self._cluster.pop(node_id), self._time.pop(node_id))
+        del self._seq[node_id]
+        return old
+
+    def forget(self, node_id: int) -> None:
+        """Drop all traces of a node removed from the graph entirely."""
+        if node_id in self._time:
+            self.eject(node_id)
+        self.prev_cycle.pop(node_id, None)

@@ -1,0 +1,157 @@
+"""Register allocation for modulo-scheduled loops.
+
+Performed when the PriorityList first empties (step 4 of Figure 4).  The
+allocator assigns physical registers to value lifetimes on the *cyclic*
+schedule: a lifetime of length L needs ``L // II`` registers outright
+(one per fully-overlapped iteration instance) plus an arc of ``L % II``
+rows that competes with other arcs for shared registers - the classic
+wrap-around (circular-arc) colouring problem of Rau et al. [27].
+
+MaxLive is a lower bound on the colouring; the greedy first-fit used here
+matches it almost always and exceeds it by at most a few registers on
+pathological arc patterns, which is exactly the behaviour the paper's
+footnote 2 describes ("sometimes MaxLive is a lower bound and it is
+necessary to insert additional spill code").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.graph.ddg import DependenceGraph
+from repro.machine.config import MachineConfig
+from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.partial import PartialSchedule
+
+
+@dataclasses.dataclass
+class RegisterAllocation:
+    """Result of allocating one cluster's register file.
+
+    Attributes:
+        cluster: the cluster allocated.
+        registers_used: total physical registers consumed (dedicated
+            full-period registers + shared arc colours + invariants).
+        assignment: value id -> list of register indices (one per
+            overlapped live instance; the arc register last).
+        invariant_registers: registers pinned by loop invariants.
+    """
+
+    cluster: int
+    registers_used: int
+    assignment: dict[int, list[int]]
+    invariant_registers: int
+
+
+def _colour_arcs(
+    arcs: list[tuple[int, int, int]], ii: int
+) -> tuple[int, dict[int, int]]:
+    """Greedy first-fit colouring of circular arcs.
+
+    ``arcs`` holds (value id, start row, length) with 0 < length <= II.
+    Returns (number of colours, value id -> colour).  Arcs are processed
+    longest first from the least-pressured cut point, which keeps the
+    greedy bound tight.
+    """
+    if not arcs:
+        return 0, {}
+    # Row occupancy as II-bit integers: overlap tests are single AND ops.
+    full_mask = (1 << ii) - 1
+
+    def arc_mask(start: int, length: int) -> int:
+        base = (1 << length) - 1
+        start %= ii
+        return ((base << start) | (base >> (ii - start))) & full_mask
+
+    density = [0] * ii
+    for _, start, length in arcs:
+        first = start % ii
+        tail = first + length
+        if tail <= ii:
+            for row in range(first, tail):
+                density[row] += 1
+        else:
+            for row in range(first, ii):
+                density[row] += 1
+            for row in range(tail - ii):
+                density[row] += 1
+    cut = density.index(min(density))
+
+    def sort_key(arc: tuple[int, int, int]) -> tuple:
+        value, start, length = arc
+        return ((start - cut) % ii, -length, value)
+
+    colours: list[int] = []  # per colour: occupied-row bitmask
+    chosen: dict[int, int] = {}
+    for value, start, length in sorted(arcs, key=sort_key):
+        mask = arc_mask(start, length)
+        for index, occupancy in enumerate(colours):
+            if not (occupancy & mask):
+                colours[index] = occupancy | mask
+                chosen[value] = index
+                break
+        else:
+            colours.append(mask)
+            chosen[value] = len(colours) - 1
+    return len(colours), chosen
+
+
+def allocate_registers(
+    graph: DependenceGraph,
+    schedule: PartialSchedule,
+    machine: MachineConfig,
+    analysis: LifetimeAnalysis | None = None,
+    spilled_invariants: set[tuple[int, int]] = frozenset(),
+) -> dict[int, RegisterAllocation]:
+    """Allocate every cluster's register file; returns per-cluster results.
+
+    The allocation never fails: it reports how many registers *would* be
+    needed, and the caller (the spill heuristic) compares that against the
+    architecture and decides whether to spill.
+    """
+    if analysis is None:
+        analysis = LifetimeAnalysis(
+            graph, schedule, machine, spilled_invariants=spilled_invariants
+        )
+    ii = schedule.ii
+    results: dict[int, RegisterAllocation] = {}
+    for cluster in range(machine.clusters):
+        dedicated = 0
+        arcs: list[tuple[int, int, int]] = []
+        assignment: dict[int, list[int]] = {}
+        full_counts: dict[int, int] = {}
+        for lifetime in analysis.lifetimes:
+            if lifetime.cluster != cluster or lifetime.length <= 0:
+                continue
+            full, rest = divmod(lifetime.length, ii)
+            full_counts[lifetime.value] = full
+            dedicated += full
+            if rest:
+                arcs.append((lifetime.value, lifetime.start % ii, rest))
+        colour_count, colours = _colour_arcs(arcs, ii)
+        # Physical numbering: dedicated registers first, arc colours after.
+        next_dedicated = 0
+        for value, full in full_counts.items():
+            registers = list(range(next_dedicated, next_dedicated + full))
+            next_dedicated += full
+            if value in colours:
+                registers.append(dedicated + colours[value])
+            if registers:
+                assignment[value] = registers
+        invariant_registers = analysis.pressure[cluster].invariant_registers
+        results[cluster] = RegisterAllocation(
+            cluster=cluster,
+            registers_used=dedicated + colour_count + invariant_registers,
+            assignment=assignment,
+            invariant_registers=invariant_registers,
+        )
+    return results
+
+
+def allocation_register_count(
+    allocations: dict[int, RegisterAllocation],
+) -> dict[int, int]:
+    """Per-cluster register counts of an allocation result."""
+    return {c: a.registers_used for c, a in allocations.items()}

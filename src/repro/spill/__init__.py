@@ -1,0 +1,5 @@
+"""Register spilling integrated into the scheduling loop."""
+
+from repro.spill.heuristics import check_and_insert_spill
+
+__all__ = ["check_and_insert_spill"]

@@ -1,0 +1,13 @@
+"""Workloads: the synthetic Perfect-Club-like loop suite (DESIGN.md note b)."""
+
+from repro.workloads.synthetic import GeneratorProfile, LoopGenerator
+from repro.workloads.perfect import perfect_club_suite, suite_statistics
+from repro.workloads.unroll import unroll
+
+__all__ = [
+    "GeneratorProfile",
+    "LoopGenerator",
+    "perfect_club_suite",
+    "suite_statistics",
+    "unroll",
+]

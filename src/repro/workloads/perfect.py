@@ -1,0 +1,218 @@
+"""The "Perfect-Club-like" workbench: 1258 seeded synthetic loops.
+
+Mirrors the paper's workbench description (Section 4): 1258 loops
+suitable for software pipelining, with unrolling applied to small loops
+to saturate the functional units.  The population mixes several kernel
+families in fixed proportions; each family is a
+:class:`~repro.workloads.synthetic.GeneratorProfile` specialisation:
+
+========== =====  =============================================
+family     share  character
+========== =====  =============================================
+dense      30 %   big expression trees, few recurrences (BLAS-ish)
+reduction  20 %   accumulator recurrences (dot products, sums)
+stencil    20 %   many loads per statement, short trees
+recurrent  15 %   longer cross-iteration chains, distances 1-4
+divheavy    8 %   division/square root present (normalisations)
+tiny        7 %   very small bodies - these get unrolled
+========== =====  =============================================
+
+Every loop is derived deterministically from (master seed, index), so
+the suite is stable across runs, machines and processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from repro.graph.ddg import DependenceGraph
+from repro.workloads.synthetic import GeneratorProfile, LoopGenerator
+from repro.workloads.unroll import SaturationPolicy, saturate
+
+#: The paper's workbench size.
+SUITE_SIZE = 1258
+
+#: Default master seed (the publication year, for flavour).
+DEFAULT_SEED = 2001
+
+
+_FAMILIES: list[tuple[str, float, GeneratorProfile]] = [
+    (
+        "dense",
+        0.30,
+        GeneratorProfile(
+            min_statements=2,
+            max_statements=6,
+            min_expr_ops=3,
+            max_expr_ops=14,
+            recurrence_prob=0.15,
+            div_prob=0.0,
+            sqrt_prob=0.0,
+        ),
+    ),
+    (
+        "reduction",
+        0.20,
+        GeneratorProfile(
+            min_statements=1,
+            max_statements=3,
+            min_expr_ops=2,
+            max_expr_ops=8,
+            recurrence_prob=1.0,
+            max_distance=1,
+            div_prob=0.0,
+            sqrt_prob=0.0,
+        ),
+    ),
+    (
+        "stencil",
+        0.20,
+        GeneratorProfile(
+            min_statements=1,
+            max_statements=4,
+            min_expr_ops=3,
+            max_expr_ops=10,
+            load_operand_prob=0.65,
+            recurrence_prob=0.1,
+            memory_dep_prob=0.35,
+            div_prob=0.0,
+            sqrt_prob=0.0,
+        ),
+    ),
+    (
+        "recurrent",
+        0.15,
+        GeneratorProfile(
+            min_statements=1,
+            max_statements=4,
+            min_expr_ops=2,
+            max_expr_ops=10,
+            recurrence_prob=1.0,
+            max_distance=4,
+            div_prob=0.0,
+            sqrt_prob=0.0,
+        ),
+    ),
+    (
+        "divheavy",
+        0.08,
+        GeneratorProfile(
+            min_statements=1,
+            max_statements=4,
+            min_expr_ops=2,
+            max_expr_ops=10,
+            div_prob=0.25,
+            sqrt_prob=0.08,
+            recurrence_prob=0.25,
+        ),
+    ),
+    (
+        "tiny",
+        0.07,
+        GeneratorProfile(
+            min_statements=1,
+            max_statements=2,
+            min_expr_ops=1,
+            max_expr_ops=3,
+            recurrence_prob=0.3,
+            div_prob=0.0,
+            sqrt_prob=0.0,
+        ),
+    ),
+]
+
+
+def _family_for(index: int, count: int) -> tuple[str, GeneratorProfile]:
+    """Deterministic family assignment honouring the share table."""
+    position = (index + 0.5) / count
+    acc = 0.0
+    for name, share, profile in _FAMILIES:
+        acc += share
+        if position <= acc:
+            return name, profile
+    name, _, profile = _FAMILIES[-1]
+    return name, profile
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteLoop:
+    """One workbench loop plus its provenance."""
+
+    index: int
+    family: str
+    unroll_factor: int
+    graph: DependenceGraph
+
+
+def build_loop(index: int, count: int = SUITE_SIZE, seed: int = DEFAULT_SEED) -> SuiteLoop:
+    """Build workbench loop ``index`` deterministically."""
+    family, profile = _family_for(index, count)
+    generator = LoopGenerator(profile)
+    graph = generator.generate(
+        seed * 1_000_003 + index, name=f"{family}{index}"
+    )
+    graph, factor = saturate(graph, SaturationPolicy())
+    return SuiteLoop(
+        index=index, family=family, unroll_factor=factor, graph=graph
+    )
+
+
+def perfect_club_suite(
+    count: int = SUITE_SIZE, seed: int = DEFAULT_SEED
+) -> list[SuiteLoop]:
+    """The workbench: ``count`` loops sampled evenly across the suite.
+
+    ``count < SUITE_SIZE`` picks an evenly spaced, family-balanced subset
+    (used by the quick benchmark modes); indices are preserved so results
+    from different subset sizes can be joined.
+    """
+    if count >= SUITE_SIZE:
+        indices = range(SUITE_SIZE)
+    else:
+        step = SUITE_SIZE / count
+        indices = (int(i * step) for i in range(count))
+    return [build_loop(index, SUITE_SIZE, seed) for index in indices]
+
+
+@functools.lru_cache(maxsize=8)
+def _cached_suite(count: int, seed: int) -> tuple[SuiteLoop, ...]:
+    return tuple(perfect_club_suite(count, seed))
+
+
+def cached_suite(count: int, seed: int = DEFAULT_SEED) -> tuple[SuiteLoop, ...]:
+    """Memoised suite construction (benchmarks reuse subsets heavily)."""
+    return _cached_suite(count, seed)
+
+
+def suite_statistics(loops: list[SuiteLoop]) -> dict[str, float]:
+    """Structural statistics of a workbench subset (used by tests to pin
+    the population against DESIGN.md note (b))."""
+    import statistics as stats
+
+    sizes = [len(loop.graph) for loop in loops]
+    memory_fraction = [
+        sum(1 for n in loop.graph.nodes() if n.kind.is_memory)
+        / max(1, len(loop.graph))
+        for loop in loops
+    ]
+    from repro.graph.recurrences import find_recurrences
+    from repro.machine.config import parse_config
+
+    machine = parse_config("1-(GP8M4-REG64)")
+    with_recurrence = sum(
+        1 for loop in loops if find_recurrences(loop.graph, machine)
+    )
+    with_invariants = sum(1 for loop in loops if loop.graph.invariants())
+    return {
+        "count": len(loops),
+        "mean_size": stats.mean(sizes),
+        "max_size": max(sizes),
+        "min_size": min(sizes),
+        "mean_memory_fraction": stats.mean(memory_fraction),
+        "recurrence_share": with_recurrence / max(1, len(loops)),
+        "invariant_share": with_invariants / max(1, len(loops)),
+        "unrolled_share": sum(
+            1 for loop in loops if loop.unroll_factor > 1
+        ) / max(1, len(loops)),
+    }

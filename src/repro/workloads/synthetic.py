@@ -1,0 +1,263 @@
+"""Synthetic loop generator with Perfect-Club-like structure.
+
+The paper's workbench is the set of 1258 software-pipelineable loops of
+the Perfect Club benchmarks [2].  Those Fortran sources are not
+available, so this generator produces seeded random dependence graphs
+whose structural statistics follow what the software-pipelining
+literature reports for that suite (DESIGN.md substitution note (b)):
+
+* loop bodies are collections of *statements*: expression trees over
+  array loads, loop invariants and earlier statement results, stored back
+  to arrays;
+* ~30 % of operations are memory accesses, mostly stride-1 with some
+  stride-k and indirect-like patterns;
+* a third of the loops carry recurrences (accumulators and short
+  cross-iteration chains) with distances 1-4;
+* division appears in a small fraction of loops, square root rarely;
+* several loop-invariant values (scalars held in registers) feed the
+  computation;
+* trip counts span two orders of magnitude.
+
+Every loop is produced from a single integer seed, so the whole suite is
+reproducible bit-for-bit and both schedulers always see identical graphs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.graph.ddg import DependenceGraph, DepKind
+from repro.machine.resources import OpKind
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorProfile:
+    """Knobs of the synthetic loop population.
+
+    The defaults describe the general numeric-loop mix; the suite in
+    :mod:`repro.workloads.perfect` derives specialised profiles
+    (reductions, stencils, dense kernels) from this one.
+    """
+
+    #: bounds on the number of *statements* (store-rooted trees).
+    min_statements: int = 1
+    max_statements: int = 6
+    #: bounds on arithmetic operations per statement.
+    min_expr_ops: int = 1
+    max_expr_ops: int = 12
+    #: probability that a loop carries at least one recurrence.
+    recurrence_prob: float = 0.35
+    #: maximum recurrence distance.
+    max_distance: int = 4
+    #: probability that an expression node is a division.
+    div_prob: float = 0.04
+    #: probability that an expression node is a square root.
+    sqrt_prob: float = 0.01
+    #: probability of an extra load operand (vs reusing a prior value).
+    load_operand_prob: float = 0.45
+    #: probability of an invariant operand.
+    invariant_operand_prob: float = 0.12
+    #: number of distinct invariants available to the loop.
+    max_invariants: int = 4
+    #: probability of a cross-statement memory dependence.
+    memory_dep_prob: float = 0.15
+    #: trip count bounds (log-uniform).
+    min_trip: int = 16
+    max_trip: int = 2048
+    #: probability that a load uses a non-unit stride.
+    strided_prob: float = 0.2
+    max_stride: int = 8
+
+
+class LoopGenerator:
+    """Seeded generator of synthetic numeric loops."""
+
+    def __init__(self, profile: GeneratorProfile | None = None):
+        self.profile = profile or GeneratorProfile()
+
+    # ------------------------------------------------------------------
+
+    def generate(self, seed: int, name: str | None = None) -> DependenceGraph:
+        """Produce one loop from the given seed."""
+        rng = random.Random(seed)
+        profile = self.profile
+        trip = self._trip_count(rng)
+        graph = DependenceGraph(
+            name=name or f"synth{seed}", trip_count=trip
+        )
+        invariants = [
+            graph.new_invariant()
+            for _ in range(rng.randint(0, profile.max_invariants))
+        ]
+        arrays = iter(range(1, 10_000))
+        produced: list[int] = []  # ids of value-producing nodes
+        stores: list[int] = []
+        loads_by_array: dict[int, int] = {}
+
+        statements = rng.randint(profile.min_statements, profile.max_statements)
+        for _ in range(statements):
+            root = self._expression(
+                graph, rng, produced, invariants, arrays, loads_by_array
+            )
+            store = graph.new_node(
+                OpKind.STORE,
+                mem_ref=self._mem_ref(rng, next(arrays)),
+            )
+            graph.add_edge(root, store.id, kind=DepKind.REG, distance=0)
+            stores.append(store.id)
+            produced.append(root)
+
+        if rng.random() < profile.recurrence_prob:
+            self._add_recurrences(graph, rng, produced)
+
+        if stores and rng.random() < profile.memory_dep_prob:
+            self._add_memory_dep(graph, rng, stores, loads_by_array)
+
+        graph.validate()
+        return graph
+
+    # ------------------------------------------------------------------
+
+    def _trip_count(self, rng: random.Random) -> int:
+        profile = self.profile
+        low, high = profile.min_trip, profile.max_trip
+        # Log-uniform: small trip counts are as common as large ones.
+        import math
+
+        return int(
+            round(
+                math.exp(
+                    rng.uniform(math.log(low), math.log(high))
+                )
+            )
+        )
+
+    def _mem_ref(self, rng: random.Random, array: int):
+        from repro.graph.ddg import MemRef
+
+        profile = self.profile
+        stride = 1
+        if rng.random() < profile.strided_prob:
+            stride = rng.randint(2, profile.max_stride)
+        return MemRef(array=array, offset=0, stride=stride)
+
+    def _compute_kind(self, rng: random.Random) -> OpKind:
+        profile = self.profile
+        roll = rng.random()
+        if roll < profile.div_prob:
+            return OpKind.DIV
+        if roll < profile.div_prob + profile.sqrt_prob:
+            return OpKind.SQRT
+        return OpKind.ADD if rng.random() < 0.55 else OpKind.MUL
+
+    def _operand(
+        self,
+        graph: DependenceGraph,
+        rng: random.Random,
+        produced: list[int],
+        invariants: list,
+        arrays,
+        loads_by_array: dict[int, int],
+    ) -> tuple[int | None, object | None]:
+        """An operand: (node id, None) or (None, invariant)."""
+        profile = self.profile
+        roll = rng.random()
+        if invariants and roll < profile.invariant_operand_prob:
+            return None, rng.choice(invariants)
+        if produced and roll > profile.invariant_operand_prob + (
+            profile.load_operand_prob
+        ):
+            return rng.choice(produced), None
+        load = graph.new_node(
+            OpKind.LOAD, mem_ref=self._mem_ref(rng, next(arrays))
+        )
+        loads_by_array[load.mem_ref.array] = load.id
+        return load.id, None
+
+    def _expression(
+        self,
+        graph: DependenceGraph,
+        rng: random.Random,
+        produced: list[int],
+        invariants: list,
+        arrays,
+        loads_by_array: dict[int, int],
+    ) -> int:
+        """Build one expression tree; returns the root node id."""
+        profile = self.profile
+        op_count = rng.randint(profile.min_expr_ops, profile.max_expr_ops)
+        current: int | None = None
+        for _ in range(op_count):
+            kind = self._compute_kind(rng)
+            node = graph.new_node(kind)
+            operand_count = 1 if kind is OpKind.SQRT else 2
+            operands_needed = operand_count - (1 if current is not None else 0)
+            if current is not None:
+                graph.add_edge(current, node.id, kind=DepKind.REG, distance=0)
+            for _ in range(operands_needed):
+                op_id, invariant = self._operand(
+                    graph, rng, produced, invariants, arrays, loads_by_array
+                )
+                if invariant is not None:
+                    invariant.consumers.add(node.id)
+                else:
+                    graph.add_edge(
+                        op_id, node.id, kind=DepKind.REG, distance=0
+                    )
+            produced.append(node.id)
+            current = node.id
+        assert current is not None
+        return current
+
+    def _add_recurrences(
+        self, graph: DependenceGraph, rng: random.Random, produced: list[int]
+    ) -> None:
+        """Turn 1-2 value chains into loop-carried recurrences."""
+        profile = self.profile
+        count = 1 if rng.random() < 0.7 else 2
+        compute_nodes = [
+            n.id for n in graph.nodes() if n.kind.is_compute
+        ]
+        if not compute_nodes:
+            return
+        for _ in range(count):
+            tail = rng.choice(compute_nodes)
+            # Choose a head among the (transitive) producers of the tail
+            # so the back edge closes a genuine circuit; falling back to a
+            # self-recurrence (accumulator) when the tail has none.
+            head = tail
+            frontier = [tail]
+            ancestors: list[int] = []
+            seen = {tail}
+            while frontier:
+                node = frontier.pop()
+                for edge in graph.in_edges(node):
+                    if edge.distance == 0 and edge.src not in seen:
+                        seen.add(edge.src)
+                        if graph.node(edge.src).kind.is_compute:
+                            ancestors.append(edge.src)
+                        frontier.append(edge.src)
+            if ancestors and rng.random() < 0.6:
+                head = rng.choice(ancestors)
+            distance = rng.randint(1, profile.max_distance)
+            graph.add_edge(tail, head, kind=DepKind.REG, distance=distance)
+
+    def _add_memory_dep(
+        self,
+        graph: DependenceGraph,
+        rng: random.Random,
+        stores: list[int],
+        loads_by_array: dict[int, int],
+    ) -> None:
+        """A store -> load ordering dependence across iterations."""
+        loads = [
+            n.id for n in graph.nodes() if n.kind is OpKind.LOAD
+        ]
+        if not loads:
+            return
+        store = rng.choice(stores)
+        load = rng.choice(loads)
+        graph.add_edge(
+            store, load, kind=DepKind.MEM, distance=rng.randint(1, 2)
+        )

@@ -1,0 +1,115 @@
+"""Loop unrolling on dependence graphs.
+
+The paper applies unrolling to small loops "in order to saturate the
+functional units" (Section 4).  Unrolling by a factor *f* replicates
+every node *f* times; a dependence of distance *d* from u to v becomes,
+for each replica index j, an edge from ``u_j`` to ``v_(j+d) mod f`` with
+distance ``(j + d) // f`` - the classic re-indexing that preserves the
+loop's semantics while multiplying the work per iteration.
+
+Memory access patterns are re-indexed consistently: replica j of a
+strided access starts ``j * stride`` elements further along and advances
+``f * stride`` elements per (unrolled) iteration.  Loop invariants stay
+single values consumed by every replica of their consumers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph, MemRef
+
+
+def unroll(graph: DependenceGraph, factor: int) -> DependenceGraph:
+    """Return a new graph: ``graph`` unrolled ``factor`` times."""
+    if factor < 1:
+        raise GraphError("unroll factor must be >= 1")
+    if factor == 1:
+        return graph.clone()
+
+    result = DependenceGraph(
+        name=f"{graph.name}@x{factor}",
+        trip_count=max(1, math.ceil(graph.trip_count / factor)),
+    )
+    # node id -> list of replica nodes
+    replicas: dict[int, list] = {}
+    for node in sorted(graph.nodes(), key=lambda n: n.id):
+        copies = []
+        for j in range(factor):
+            mem_ref = node.mem_ref
+            if mem_ref is not None:
+                mem_ref = MemRef(
+                    array=mem_ref.array,
+                    offset=mem_ref.offset + j * mem_ref.stride,
+                    stride=mem_ref.stride * factor,
+                    element_size=mem_ref.element_size,
+                )
+            copy = result.new_node(
+                node.kind,
+                name=f"{node.name}_u{j}",
+                mem_ref=mem_ref,
+                latency_override=node.latency_override,
+            )
+            copies.append(copy)
+        replicas[node.id] = copies
+
+    for edge in graph.edges():
+        for j in range(factor):
+            target_index = (j + edge.distance) % factor
+            new_distance = (j + edge.distance) // factor
+            result.add_edge(
+                replicas[edge.src][j].id,
+                replicas[edge.dst][target_index].id,
+                kind=edge.kind,
+                distance=new_distance,
+                latency=edge.latency,
+            )
+
+    for invariant in graph.invariants():
+        consumers = set()
+        for consumer in invariant.consumers:
+            consumers.update(copy.id for copy in replicas[consumer])
+        copy = result.new_invariant(consumers=consumers, mem_ref=invariant.mem_ref)
+        copy.name = invariant.name
+    result.validate()
+    return result
+
+
+@dataclasses.dataclass(frozen=True)
+class SaturationPolicy:
+    """When and how much to unroll for FU saturation.
+
+    Attributes:
+        target_compute_ops: unroll until the loop holds at least this
+            many compute operations (enough work for 8 GP units at a
+            useful II).
+        max_factor: never unroll beyond this factor.
+        max_nodes: stop unrolling before the loop exceeds this size.
+    """
+
+    target_compute_ops: int = 16
+    max_factor: int = 8
+    max_nodes: int = 160
+
+
+def saturate(graph: DependenceGraph, policy: SaturationPolicy | None = None):
+    """Unroll a small loop enough to saturate a wide core.
+
+    Returns ``(graph, factor)``; the graph is returned unchanged (not
+    cloned) when no unrolling is needed.
+    """
+    policy = policy or SaturationPolicy()
+    compute_ops = sum(1 for n in graph.nodes() if n.kind.is_compute)
+    if compute_ops == 0:
+        return graph, 1
+    factor = min(
+        policy.max_factor,
+        max(1, math.ceil(policy.target_compute_ops / compute_ops)),
+    )
+    while factor > 1 and factor * len(graph) > policy.max_nodes:
+        factor -= 1
+    if factor <= 1:
+        return graph, 1
+    return unroll(graph, factor), factor

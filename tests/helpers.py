@@ -1,0 +1,101 @@
+"""Shared test utilities: canned machines, loops and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro import DependenceGraph, DepKind, LoopBuilder, MemRef, OpKind, parse_config
+
+UNIFIED = parse_config("1-(GP8M4-REG64)")
+UNIFIED_SMALL = parse_config("1-(GP8M4-REG16)")
+TWO_CLUSTER = parse_config("2-(GP4M2-REG32)")
+FOUR_CLUSTER = parse_config("4-(GP2M1-REG32)")
+FOUR_CLUSTER_TIGHT = parse_config("4-(GP2M1-REG16)")
+
+
+def daxpy(trip_count: int = 100) -> DependenceGraph:
+    b = LoopBuilder("daxpy", trip_count=trip_count)
+    x = b.load(array=0)
+    y = b.load(array=1)
+    a = b.invariant("a")
+    b.store(b.add(b.mul(x, a), y), array=1)
+    return b.build()
+
+
+def reduction(distance: int = 1) -> DependenceGraph:
+    b = LoopBuilder("reduction", trip_count=100)
+    x = b.load(array=0)
+    acc = b.add(x)
+    b.loop_carried(acc, acc, distance=distance)
+    b.store(acc, array=1)
+    return b.build()
+
+
+def chain(length: int = 6) -> DependenceGraph:
+    """A straight-line dependence chain: load -> add^length -> store."""
+    b = LoopBuilder("chain", trip_count=100)
+    node = b.load(array=0)
+    for _ in range(length):
+        node = b.add(node)
+    b.store(node, array=1)
+    return b.build()
+
+
+def wide(width: int = 8) -> DependenceGraph:
+    """Independent parallel streams (stress on resources, not deps)."""
+    b = LoopBuilder("wide", trip_count=100)
+    for j in range(width):
+        b.store(b.mul(b.load(array=j), b.load(array=100 + j)), array=200 + j)
+    return b.build()
+
+
+def random_graph(seed: int, size: int = 10) -> DependenceGraph:
+    """A small random schedulable loop (used by property tests)."""
+    rng = random.Random(seed)
+    graph = DependenceGraph(name=f"rand{seed}", trip_count=50)
+    nodes = []
+    for i in range(size):
+        roll = rng.random()
+        if roll < 0.25:
+            kind = OpKind.LOAD
+        elif roll < 0.35:
+            kind = OpKind.STORE
+        elif roll < 0.7:
+            kind = OpKind.ADD
+        elif roll < 0.95:
+            kind = OpKind.MUL
+        else:
+            kind = OpKind.DIV
+        mem_ref = MemRef(array=i, stride=rng.randint(1, 4)) if kind.is_memory else None
+        nodes.append(graph.new_node(kind, mem_ref=mem_ref))
+    # Forward edges (acyclic base): from value producers only.
+    for i, node in enumerate(nodes):
+        for j in range(i + 1, size):
+            if rng.random() < 0.25 and nodes[i].produces_value:
+                graph.add_edge(nodes[i].id, nodes[j].id, kind=DepKind.REG)
+    # Occasionally a loop-carried back edge (distance >= 1 keeps it legal).
+    for _ in range(rng.randint(0, 2)):
+        i, j = sorted(rng.sample(range(size), 2))
+        if nodes[j].produces_value:
+            graph.add_edge(
+                nodes[j].id,
+                nodes[i].id,
+                kind=DepKind.REG,
+                distance=rng.randint(1, 3),
+            )
+    # An invariant with a couple of consumers.
+    if rng.random() < 0.5:
+        consumers = {
+            n.id for n in rng.sample(nodes, min(2, len(nodes)))
+            if n.kind.is_compute
+        }
+        if consumers:
+            graph.new_invariant(consumers=consumers)
+    graph.validate()
+    return graph
+
+
+graph_seeds = st.integers(min_value=0, max_value=10_000)
+graph_sizes = st.integers(min_value=3, max_value=14)

@@ -1,0 +1,94 @@
+"""Tests for the LoopBuilder DSL and the schedule pretty-printer."""
+
+import pytest
+
+from repro import DepKind, LoopBuilder, MirsC, OpKind
+from repro.eval.pretty import format_kernel
+
+from tests.helpers import FOUR_CLUSTER, UNIFIED, daxpy
+
+
+class TestLoopBuilder:
+    def test_operations_and_edges(self):
+        b = LoopBuilder("t")
+        x = b.load(array=0)
+        y = b.mul(x, x)
+        s = b.store(y, array=1)
+        graph = b.build()
+        assert graph.node(x.id).kind is OpKind.LOAD
+        assert graph.node(y.id).kind is OpKind.MUL
+        assert len(graph.in_edges(y.id)) == 2  # both operands
+        assert graph.preds(s.id) == {y.id}
+
+    def test_all_op_kinds(self):
+        b = LoopBuilder("k")
+        x = b.load(array=0)
+        assert b.add(x).kind is OpKind.ADD
+        assert b.mul(x).kind is OpKind.MUL
+        assert b.div(x).kind is OpKind.DIV
+        assert b.sqrt(x).kind is OpKind.SQRT
+        assert b.store(x).kind is OpKind.STORE
+
+    def test_invariant_operand(self):
+        b = LoopBuilder("inv")
+        c = b.invariant("c")
+        node = b.mul(c)
+        graph = b.build()
+        assert node.id in graph.invariant(c.id).consumers
+        assert graph.in_edges(node.id) == []
+
+    def test_loop_carried_and_memory_deps(self):
+        b = LoopBuilder("deps")
+        x = b.load(array=0)
+        acc = b.add(x)
+        b.loop_carried(acc, acc, distance=3)
+        s = b.store(acc, array=0)
+        b.memory_dep(s, x, distance=1)
+        graph = b.build()
+        self_edges = [
+            e for e in graph.out_edges(acc.id) if e.dst == acc.id
+        ]
+        assert self_edges[0].distance == 3
+        mem_edges = [
+            e for e in graph.out_edges(s.id) if e.kind is DepKind.MEM
+        ]
+        assert mem_edges[0].dst == x.id
+
+    def test_fresh_arrays_allocated(self):
+        b = LoopBuilder("arr")
+        x = b.load()
+        y = b.load()
+        assert x.mem_ref.array != y.mem_ref.array
+
+    def test_control_dep(self):
+        b = LoopBuilder("ctrl")
+        x = b.load(array=0)
+        y = b.add(x)
+        b.control_dep(x, y)
+        graph = b.build()
+        kinds = {e.kind for e in graph.out_edges(x.id)}
+        assert DepKind.CTRL in kinds
+
+
+class TestPrettyPrinter:
+    def test_kernel_format_unified(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        text = format_kernel(result)
+        assert f"II={result.ii}" in text
+        assert "cluster 0" in text
+        assert "cycle" in text
+
+    def test_kernel_format_clustered_moves_annotated(self):
+        result = MirsC(FOUR_CLUSTER).schedule(daxpy())
+        text = format_kernel(result)
+        assert "cluster 3" in text
+        if result.move_operations:
+            assert "->" in text
+
+    def test_unconverged_formats_gracefully(self):
+        from repro.core.result import ScheduleResult
+
+        bogus = ScheduleResult(
+            loop="x", machine=UNIFIED, converged=False, ii=1, mii=1
+        )
+        assert "NOT CONVERGED" in format_kernel(bogus)

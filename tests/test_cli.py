@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_schedule_demo(self, capsys):
+        assert main(["schedule", "--config", "1-(GP8M4-REG64)"]) == 0
+        out = capsys.readouterr().out
+        assert "II=" in out
+        assert "daxpy" in out
+
+    def test_schedule_with_code(self, capsys):
+        assert main(
+            ["schedule", "--config", "2-(GP4M2-REG32)", "--code"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kernel:" in out
+        assert "prologue:" in out
+
+    def test_schedule_workbench_loop(self, capsys):
+        assert main(["schedule", "--loop", "5"]) == 0
+        assert "II=" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "--config", "2-(GP4M2-REG64)", "--loops", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "II MIRS-C" in out
+        assert "II [31]" in out
+
+    def test_suite_statistics(self, capsys):
+        assert main(["suite", "--loops", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_size" in out
+
+    def test_technology(self, capsys):
+        assert main(["technology"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle time" in out
+
+    def test_unbounded_buses_option(self, capsys):
+        assert main(
+            ["schedule", "--config", "4-(GP2M1-REG32)", "--buses", "inf"]
+        ) == 0
+
+    def test_parser_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,157 @@
+"""Tests for VLIW code generation (prologue / kernel / epilogue + MVE)."""
+
+import pytest
+
+from repro import LoopBuilder, MirsC, parse_config
+from repro.codegen import generate_code, modulo_variable_expansion_factor
+
+from tests.helpers import UNIFIED, daxpy, random_graph, reduction
+
+
+@pytest.fixture
+def daxpy_code():
+    result = MirsC(UNIFIED).schedule(daxpy())
+    return result, generate_code(result)
+
+
+class TestStructure:
+    def test_kernel_length(self, daxpy_code):
+        result, code = daxpy_code
+        assert len(code.kernel) == result.ii * code.mve_factor
+        assert code.kernel_cycles == result.ii * code.mve_factor
+
+    def test_prologue_epilogue_lengths(self, daxpy_code):
+        result, code = daxpy_code
+        fill = result.ii * (code.stage_count - 1)
+        assert len(code.prologue) == fill
+        assert len(code.epilogue) == fill
+
+    def test_every_node_once_per_kernel_copy(self, daxpy_code):
+        result, code = daxpy_code
+        counts = {}
+        for bundle in code.kernel:
+            for inst in bundle:
+                counts[inst.node] = counts.get(inst.node, 0) + 1
+        for node in result.graph.nodes():
+            assert counts[node.id] == code.mve_factor
+
+    def test_fill_drain_invariant(self, daxpy_code):
+        """A stage-s op appears SC-1-s times in the prologue and s times
+        in the epilogue."""
+        result, code = daxpy_code
+        sc = code.stage_count
+        stage_of = {}
+        low = min(result.times.values())
+        for node_id, cycle in result.times.items():
+            stage_of[node_id] = (cycle - low) // result.ii
+        pro = {}
+        for bundle in code.prologue:
+            for inst in bundle:
+                pro[inst.node] = pro.get(inst.node, 0) + 1
+        epi = {}
+        for bundle in code.epilogue:
+            for inst in bundle:
+                epi[inst.node] = epi.get(inst.node, 0) + 1
+        for node_id, stage in stage_of.items():
+            assert pro.get(node_id, 0) == sc - 1 - stage
+            assert epi.get(node_id, 0) == stage
+
+    def test_render_is_complete(self, daxpy_code):
+        _, code = daxpy_code
+        text = code.render()
+        assert "prologue:" in text
+        assert "kernel:" in text
+        assert "epilogue:" in text
+        assert "II=" in text
+
+
+class TestMVE:
+    def test_short_lifetimes_need_no_expansion(self):
+        b = LoopBuilder("short")
+        x = b.load(array=0)
+        b.store(x, array=1)
+        graph = b.build()
+        result = MirsC(UNIFIED).schedule(graph)
+        if all(
+            lt <= result.ii
+            for lt in (result.times[1] - result.times[0],)
+        ):
+            assert modulo_variable_expansion_factor(result) >= 1
+
+    def test_expansion_matches_longest_lifetime(self):
+        # DAXPY at II=1 overlaps many iterations: K = longest lifetime.
+        result = MirsC(UNIFIED).schedule(daxpy())
+        factor = modulo_variable_expansion_factor(result)
+        assert factor >= 2  # 4-cycle latencies at II=1 overlap deeply
+        code = generate_code(result)
+        assert code.mve_factor == factor
+
+    def test_expanded_values_get_renamed_registers(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        code = generate_code(result)
+        if code.mve_factor > 1:
+            names = {
+                inst.dest
+                for inst in code.all_instructions()
+                if inst.dest and ".k" in inst.dest
+            }
+            assert names, "expanded registers must carry copy suffixes"
+
+    def test_rejects_unconverged(self):
+        from repro.core.result import ScheduleResult
+
+        bogus = ScheduleResult(
+            loop="x", machine=UNIFIED, converged=False, ii=1, mii=1
+        )
+        with pytest.raises(ValueError):
+            generate_code(bogus)
+
+
+class TestRegisterNaming:
+    def test_operands_reference_defined_registers(self, daxpy_code):
+        result, code = daxpy_code
+        defined = {
+            inst.dest for inst in code.all_instructions() if inst.dest
+        }
+        for inst in code.all_instructions():
+            for source in inst.sources:
+                if source.startswith("inv:"):
+                    continue
+                base = source
+                assert base in defined or base.split(".k")[0] in {
+                    d.split(".k")[0] for d in defined
+                }
+
+    def test_invariant_operands_named(self, daxpy_code):
+        _, code = daxpy_code
+        sources = {
+            s for inst in code.all_instructions() for s in inst.sources
+        }
+        assert any(s.startswith("inv:") for s in sources)
+
+    def test_clustered_codegen(self):
+        machine = parse_config("2-(GP4M2-REG32)")
+        result = MirsC(machine).schedule(daxpy())
+        code = generate_code(result)
+        clusters = {inst.cluster for inst in code.all_instructions()}
+        assert clusters <= {0, 1}
+        moves = [
+            inst for inst in code.all_instructions()
+            if inst.mnemonic == "move"
+        ]
+        assert len(moves) == result.move_operations * (
+            code.mve_factor + code.stage_count - 1
+        ) or result.move_operations == 0 or moves
+
+    def test_codegen_on_random_graphs(self):
+        for seed in range(5):
+            graph = random_graph(seed, size=8)
+            result = MirsC(UNIFIED).schedule(graph)
+            code = generate_code(result)
+            # Conservation: every op appears SC-1 times in fill+drain.
+            pro_epi = {}
+            for bundle in code.prologue + code.epilogue:
+                for inst in bundle:
+                    pro_epi[inst.node] = pro_epi.get(inst.node, 0) + 1
+            for node in graph.nodes():
+                assert pro_epi.get(node.id, 0) == code.stage_count - 1

@@ -1,0 +1,174 @@
+"""Unit tests for the dependence graph."""
+
+import pytest
+
+from repro import DependenceGraph, DepKind, GraphError, MemRef, OpKind
+
+
+@pytest.fixture
+def graph():
+    return DependenceGraph("test", trip_count=10)
+
+
+class TestNodes:
+    def test_new_node_assigns_fresh_ids(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        b = graph.new_node(OpKind.MUL)
+        assert a.id != b.id
+        assert len(graph) == 2
+
+    def test_names_are_generated(self, graph):
+        node = graph.new_node(OpKind.LOAD)
+        assert node.name.startswith("load")
+
+    def test_contains_and_lookup(self, graph):
+        node = graph.new_node(OpKind.ADD)
+        assert node.id in graph
+        assert graph.node(node.id) is node
+        assert 999 not in graph
+        with pytest.raises(GraphError):
+            graph.node(999)
+
+    def test_remove_node_removes_edges(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        b = graph.new_node(OpKind.MUL)
+        graph.add_edge(a.id, b.id)
+        graph.remove_node(b.id)
+        assert graph.out_edges(a.id) == []
+        assert b.id not in graph
+
+    def test_remove_node_drops_invariant_consumption(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        inv = graph.new_invariant(consumers={a.id})
+        graph.remove_node(a.id)
+        assert inv.consumers == set()
+
+
+class TestEdges:
+    def test_add_and_query(self, graph):
+        a = graph.new_node(OpKind.LOAD)
+        b = graph.new_node(OpKind.ADD)
+        edge = graph.add_edge(a.id, b.id, distance=2)
+        assert edge in graph.out_edges(a.id)
+        assert edge in graph.in_edges(b.id)
+        assert graph.preds(b.id) == {a.id}
+        assert graph.succs(a.id) == {b.id}
+
+    def test_parallel_edges_allowed(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        b = graph.new_node(OpKind.ADD)
+        graph.add_edge(a.id, b.id, distance=0)
+        graph.add_edge(a.id, b.id, distance=1)
+        assert len(graph.out_edges(a.id)) == 2
+
+    def test_store_produces_no_register_value(self, graph):
+        store = graph.new_node(OpKind.STORE)
+        other = graph.new_node(OpKind.ADD)
+        with pytest.raises(GraphError):
+            graph.add_edge(store.id, other.id, kind=DepKind.REG)
+        # Memory ordering out of a store is fine.
+        graph.add_edge(store.id, other.id, kind=DepKind.MEM)
+
+    def test_negative_distance_rejected(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        b = graph.new_node(OpKind.ADD)
+        with pytest.raises(GraphError):
+            graph.add_edge(a.id, b.id, distance=-1)
+
+    def test_remove_edge(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        b = graph.new_node(OpKind.ADD)
+        edge = graph.add_edge(a.id, b.id)
+        graph.remove_edge(edge)
+        assert graph.out_edges(a.id) == []
+        with pytest.raises(GraphError):
+            graph.remove_edge(edge)
+
+    def test_reg_consumers_and_producers(self, graph):
+        a = graph.new_node(OpKind.LOAD)
+        b = graph.new_node(OpKind.ADD)
+        s = graph.new_node(OpKind.STORE)
+        graph.add_edge(a.id, b.id, kind=DepKind.REG)
+        graph.add_edge(b.id, s.id, kind=DepKind.REG)
+        graph.add_edge(s.id, a.id, kind=DepKind.MEM, distance=1)
+        assert [e.dst for e in graph.reg_consumers(b.id)] == [s.id]
+        assert [e.src for e in graph.reg_producers(b.id)] == [a.id]
+
+
+class TestInvariants:
+    def test_new_invariant(self, graph):
+        a = graph.new_node(OpKind.ADD)
+        inv = graph.new_invariant(consumers={a.id})
+        assert graph.invariant(inv.id) is inv
+        assert graph.invariants_of(a.id) == [inv]
+
+    def test_unknown_invariant(self, graph):
+        with pytest.raises(GraphError):
+            graph.invariant(42)
+
+    def test_invariant_consumer_must_exist(self, graph):
+        with pytest.raises(GraphError):
+            graph.new_invariant(consumers={123})
+
+
+class TestClone:
+    def test_clone_is_deep(self, graph):
+        a = graph.new_node(OpKind.LOAD, mem_ref=MemRef(array=1))
+        b = graph.new_node(OpKind.ADD)
+        graph.add_edge(a.id, b.id)
+        inv = graph.new_invariant(consumers={b.id})
+        copy = graph.clone()
+        copy.remove_node(b.id)
+        assert b.id in graph
+        assert inv.consumers == {b.id}
+        assert copy.invariant(inv.id).consumers == set()
+
+    def test_clone_preserves_attributes(self, graph):
+        node = graph.new_node(
+            OpKind.LOAD, mem_ref=MemRef(array=3, stride=2), latency_override=9
+        )
+        copy = graph.clone()
+        cloned = copy.node(node.id)
+        assert cloned.mem_ref == node.mem_ref
+        assert cloned.latency_override == 9
+
+    def test_clone_ids_continue_without_collision(self, graph):
+        graph.new_node(OpKind.ADD)
+        copy = graph.clone()
+        fresh = copy.new_node(OpKind.MUL)
+        assert fresh.id not in [n.id for n in graph.nodes()]
+
+
+class TestValidationAndStats:
+    def test_validate_passes_on_consistent_graph(self, graph):
+        a = graph.new_node(OpKind.LOAD)
+        b = graph.new_node(OpKind.ADD)
+        graph.add_edge(a.id, b.id)
+        graph.validate()
+
+    def test_count_kind(self, graph):
+        graph.new_node(OpKind.LOAD)
+        graph.new_node(OpKind.LOAD)
+        graph.new_node(OpKind.ADD)
+        assert graph.count_kind(OpKind.LOAD) == 2
+        assert graph.count_kind(OpKind.SQRT) == 0
+
+    def test_memory_nodes(self, graph):
+        graph.new_node(OpKind.LOAD)
+        graph.new_node(OpKind.STORE)
+        graph.new_node(OpKind.MUL)
+        assert len(graph.memory_nodes()) == 2
+
+
+class TestMemRef:
+    def test_addresses_advance_by_stride(self):
+        ref = MemRef(array=2, offset=3, stride=4, element_size=8)
+        assert ref.address(1) - ref.address(0) == 4 * 8
+        assert ref.address(0) == (2 << 24) + 3 * 8
+
+    def test_distinct_arrays_never_collide(self):
+        a = MemRef(array=1)
+        b = MemRef(array=2)
+        addresses_a = {a.address(i) for i in range(100)}
+        addresses_b = {b.address(i) for i in range(100)}
+        assert not (addresses_a & addresses_b)

@@ -1,0 +1,151 @@
+"""Unit tests for the machine configuration model."""
+
+import pytest
+
+from repro import ConfigError, MachineConfig, OpKind, parse_config
+from repro.machine.config import (
+    ClusterConfig,
+    minimum_buses_for,
+    paper_configuration,
+    scalability_configuration,
+)
+from repro.machine.resources import ResourceClass
+
+
+class TestParseConfig:
+    def test_parses_paper_syntax(self):
+        machine = parse_config("2-(GP4M2-REG64)")
+        assert machine.clusters == 2
+        assert machine.cluster.gp_units == 4
+        assert machine.cluster.mem_ports == 2
+        assert machine.cluster.registers == 64
+
+    def test_round_trips_name(self):
+        for name in ("1-(GP8M4-REG16)", "4-(GP2M1-REG128)", "2-(GP4M2-REGinf)"):
+            assert parse_config(name).name == name
+
+    def test_unbounded_registers(self):
+        machine = parse_config("1-(GP8M4-REGinf)")
+        assert machine.cluster.registers is None
+        assert machine.total_registers is None
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_config("8 clusters please")
+
+    def test_rejects_malformed_counts(self):
+        with pytest.raises(ConfigError):
+            parse_config("0-(GP8M4-REG64)")
+
+    def test_move_latency_and_buses_kwargs(self):
+        machine = parse_config("2-(GP4M2-REG64)", buses=3, move_latency=3)
+        assert machine.buses == 3
+        assert machine.move_latency == 3
+
+
+class TestDerivedQuantities:
+    def test_totals(self):
+        machine = parse_config("4-(GP2M1-REG32)")
+        assert machine.total_gp_units == 8
+        assert machine.total_mem_ports == 4
+        assert machine.total_registers == 128
+
+    def test_is_clustered(self):
+        assert not parse_config("1-(GP8M4-REG64)").is_clustered
+        assert parse_config("2-(GP4M2-REG64)").is_clustered
+
+    def test_latencies_match_paper(self):
+        machine = parse_config("1-(GP8M4-REG64)")
+        assert machine.latency(OpKind.ADD) == 4
+        assert machine.latency(OpKind.MUL) == 4
+        assert machine.latency(OpKind.DIV) == 17
+        assert machine.latency(OpKind.SQRT) == 30
+
+    def test_move_latency_via_config(self):
+        machine = parse_config("2-(GP4M2-REG64)", move_latency=3)
+        assert machine.latency(OpKind.MOVE) == 3
+
+    def test_occupancy_pipelined_vs_not(self):
+        machine = parse_config("1-(GP8M4-REG64)")
+        assert machine.occupancy(OpKind.ADD) == 1
+        assert machine.occupancy(OpKind.MUL) == 1
+        assert machine.occupancy(OpKind.DIV) == 17
+        assert machine.occupancy(OpKind.SQRT) == 30
+        assert machine.occupancy(OpKind.LOAD) == 1
+
+    def test_instances(self):
+        machine = parse_config("2-(GP4M2-REG64)", buses=3)
+        assert machine.instances(ResourceClass.GP_FU) == 4
+        assert machine.instances(ResourceClass.MEM_PORT) == 2
+        assert machine.instances(ResourceClass.OUT_PORT) == 1
+        assert machine.instances(ResourceClass.IN_PORT) == 1
+        assert machine.instances(ResourceClass.BUS) == 3
+
+    def test_unbounded_buses(self):
+        machine = parse_config("2-(GP4M2-REG64)", buses=None)
+        assert machine.instances(ResourceClass.BUS) is None
+
+
+class TestBuilders:
+    def test_with_registers(self):
+        machine = parse_config("2-(GP4M2-REG64)")
+        smaller = machine.with_registers(16)
+        assert smaller.cluster.registers == 16
+        assert machine.cluster.registers == 64  # original untouched
+
+    def test_with_move_latency_and_buses(self):
+        machine = parse_config("2-(GP4M2-REG64)")
+        assert machine.with_move_latency(3).move_latency == 3
+        assert machine.with_buses(None).buses is None
+
+    def test_paper_configuration_splits_resources(self):
+        for k in (1, 2, 4):
+            machine = paper_configuration(k, 32)
+            assert machine.total_gp_units == 8
+            assert machine.total_mem_ports == 4
+
+    def test_paper_configuration_rejects_uneven_split(self):
+        with pytest.raises(ConfigError):
+            paper_configuration(3, 32)
+
+    def test_scalability_configuration_replicates_element(self):
+        machine = scalability_configuration(6)
+        assert machine.clusters == 6
+        assert machine.cluster.gp_units == 2
+        assert machine.cluster.mem_ports == 1
+        assert machine.cluster.registers == 32
+
+    def test_minimum_buses_rule_of_thumb(self):
+        assert minimum_buses_for(1) == 1
+        assert minimum_buses_for(4) == 2
+        assert minimum_buses_for(8) == 4
+
+
+class TestValidation:
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                clusters=1,
+                cluster=ClusterConfig(gp_units=1, mem_ports=1, registers=8),
+                latencies={OpKind.ADD: 0},
+            )
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(gp_units=1, mem_ports=1, registers=0)
+
+    def test_rejects_zero_buses(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                clusters=2,
+                cluster=ClusterConfig(gp_units=4, mem_ports=2, registers=8),
+                buses=0,
+            )
+
+    def test_rejects_bad_move_latency(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                clusters=2,
+                cluster=ClusterConfig(gp_units=4, mem_ports=2, registers=8),
+                move_latency=0,
+            )

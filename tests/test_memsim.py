@@ -1,0 +1,187 @@
+"""Unit tests for the cache simulator, trace model and stall analysis."""
+
+import pytest
+
+from repro import ConfigError, LoopBuilder, MirsC, TechnologyModel, parse_config
+from repro.machine.config import paper_configuration
+from repro.memsim.cache import CacheConfig, LockupFreeCache
+from repro.memsim.prefetch import (
+    PrefetchPolicy,
+    apply_binding_prefetch,
+    prefetched_load_ids,
+)
+from repro.memsim.stall import MemoryModel
+from repro.memsim.trace import loop_miss_rates
+
+from tests.helpers import UNIFIED
+
+
+class TestCache:
+    def test_sequential_stream_misses_once_per_line(self):
+        cache = LockupFreeCache()
+        for address in range(0, 32 * 64, 8):  # 64 lines, 8B elements
+            cache.access(address)
+        assert cache.misses == 64
+        assert cache.hits == 64 * 3
+
+    def test_repeat_access_hits(self):
+        cache = LockupFreeCache()
+        cache.access(0)
+        assert cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_capacity_eviction(self):
+        config = CacheConfig(size_bytes=1024, line_bytes=32, associativity=1)
+        cache = LockupFreeCache(config)
+        # Touch 2x the capacity, then re-touch the start: all misses.
+        for address in range(0, 2048, 32):
+            cache.access(address)
+        assert not cache.access(0)
+
+    def test_lru_within_set(self):
+        config = CacheConfig(size_bytes=128, line_bytes=32, associativity=2)
+        cache = LockupFreeCache(config)  # 2 sets x 2 ways
+        set_stride = 32 * config.num_sets
+        a, b, c = 0, set_stride, 2 * set_stride  # same set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b (LRU)
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, line_bytes=32, associativity=2)
+        with pytest.raises(ConfigError):
+            CacheConfig(mshrs=0)
+
+    def test_reset(self):
+        cache = LockupFreeCache()
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0
+
+
+class TestTrace:
+    def test_unit_stride_low_miss_rate(self):
+        b = LoopBuilder("seq", trip_count=256)
+        x = b.load(array=0, stride=1)
+        b.store(x, array=1, stride=1)
+        graph = b.build()
+        rates = loop_miss_rates(graph)
+        # 32B lines / 8B elements: one miss every 4 accesses.
+        assert rates[x.id] == pytest.approx(0.25, abs=0.05)
+
+    def test_large_stride_always_misses(self):
+        b = LoopBuilder("stride", trip_count=256)
+        x = b.load(array=0, stride=16)  # 128 bytes apart: new line each
+        b.store(x, array=1)
+        graph = b.build()
+        rates = loop_miss_rates(graph)
+        assert rates[x.id] > 0.9
+
+    def test_no_memory_ops(self):
+        b = LoopBuilder("none")
+        b.add()
+        assert loop_miss_rates(b.build()) == {}
+
+
+class TestPrefetchPolicy:
+    def _loop(self, trip_count=1000):
+        b = LoopBuilder("pf", trip_count=trip_count)
+        stream = b.load(array=0, stride=8)
+        acc = b.add(stream)
+        b.loop_carried(acc, acc, distance=1)
+        rec_load = b.load(array=1)
+        b.memory_dep(b.store(acc, array=1), rec_load, distance=1)
+        b.loop_carried(rec_load, rec_load, distance=2)
+        b.store(rec_load, array=2)
+        return b.build(), stream, rec_load
+
+    def test_stream_load_prefetched(self):
+        graph, stream, rec_load = self._loop()
+        machine = paper_configuration(1, 64)
+        result = apply_binding_prefetch(graph, machine)
+        assert stream.id in prefetched_load_ids(result)
+
+    def test_recurrence_load_exempt(self):
+        graph, stream, rec_load = self._loop()
+        machine = paper_configuration(1, 64)
+        result = apply_binding_prefetch(graph, machine)
+        assert rec_load.id not in prefetched_load_ids(result)
+
+    def test_short_loops_exempt(self):
+        graph, stream, _ = self._loop(trip_count=8)
+        machine = paper_configuration(1, 64)
+        result = apply_binding_prefetch(graph, machine)
+        assert prefetched_load_ids(result) == set()
+
+    def test_original_graph_untouched(self):
+        graph, stream, _ = self._loop()
+        machine = paper_configuration(1, 64)
+        apply_binding_prefetch(graph, machine)
+        assert graph.node(stream.id).latency_override is None
+
+    def test_miss_latency_scales_with_clock(self):
+        graph, stream, _ = self._loop()
+        tech = TechnologyModel()
+        fast = paper_configuration(4, 16)
+        slow = paper_configuration(1, 128)
+        fast_g = apply_binding_prefetch(graph, fast, tech)
+        slow_g = apply_binding_prefetch(graph, slow, tech)
+        assert (
+            fast_g.node(stream.id).latency_override
+            > slow_g.node(stream.id).latency_override
+        )
+
+
+class TestStallModel:
+    def _schedule(self, graph, machine=None):
+        machine = machine or paper_configuration(1, 64)
+        return MirsC(machine).schedule(graph)
+
+    def test_hit_only_loop_barely_stalls(self):
+        b = LoopBuilder("hits", trip_count=64)
+        x = b.load(array=0, stride=0)  # same address every iteration
+        b.store(b.add(x), array=1, stride=0)
+        result = self._schedule(b.build())
+        report = MemoryModel().evaluate(result)
+        # Only the two cold misses contribute; their amortised cost is a
+        # tiny fraction of the useful cycles.
+        assert report.miss_rate < 0.05
+        assert report.stall_cycles < 0.2 * report.useful_cycles
+
+    def test_missing_loads_stall(self):
+        b = LoopBuilder("misses", trip_count=512)
+        x = b.load(array=0, stride=16)
+        b.store(b.add(x), array=1, stride=16)
+        result = self._schedule(b.build())
+        report = MemoryModel().evaluate(result)
+        assert report.stall_cycles > 0
+        assert report.miss_rate > 0.4
+
+    def test_prefetch_removes_stalls(self):
+        b = LoopBuilder("pf", trip_count=512)
+        x = b.load(array=0, stride=16)
+        b.store(b.add(x), array=1, stride=16)
+        graph = b.build()
+        machine = paper_configuration(1, 64)
+        normal = self._schedule(graph, machine)
+        prefetched = self._schedule(
+            apply_binding_prefetch(graph, machine), machine
+        )
+        model = MemoryModel()
+        assert (
+            model.evaluate(prefetched).stall_cycles
+            < model.evaluate(normal).stall_cycles
+        )
+
+    def test_rejects_unconverged(self):
+        from repro.core.result import ScheduleResult
+
+        bogus = ScheduleResult(
+            loop="x", machine=UNIFIED, converged=False, ii=1, mii=1
+        )
+        with pytest.raises(ValueError):
+            MemoryModel().evaluate(bogus)

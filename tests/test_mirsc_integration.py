@@ -1,0 +1,110 @@
+"""Integration tests: MIRS-C across the paper's configuration matrix."""
+
+import pytest
+
+from repro import (
+    LoopBuilder,
+    MirsC,
+    MirsParams,
+    Mirs,
+    SchedulingError,
+    parse_config,
+    verify_schedule,
+)
+from repro.machine.config import paper_configuration, scalability_configuration
+from repro.workloads.perfect import cached_suite
+
+LOOPS = cached_suite(6)
+
+
+@pytest.mark.parametrize("clusters", [1, 2, 4])
+@pytest.mark.parametrize("registers", [32, None])
+def test_matrix_converges_and_verifies(clusters, registers):
+    machine = paper_configuration(clusters, registers)
+    for loop in LOOPS:
+        result = MirsC(machine).schedule(loop.graph)
+        assert result.converged
+        violations = verify_schedule(
+            result.graph,
+            machine,
+            result.ii,
+            result.times,
+            result.clusters,
+            result.register_usage,
+        )
+        assert violations == [], f"{loop.graph.name}: {violations[:3]}"
+
+
+@pytest.mark.parametrize("move_latency", [1, 3])
+def test_move_latency_variants(move_latency):
+    machine = paper_configuration(4, 32, move_latency=move_latency)
+    for loop in LOOPS[:3]:
+        result = MirsC(machine).schedule(loop.graph)
+        assert result.converged
+
+
+def test_bus_starved_machine_still_converges():
+    machine = scalability_configuration(8, buses=1)
+    result = MirsC(machine).schedule(LOOPS[0].graph)
+    assert result.converged
+
+
+def test_unbounded_buses():
+    machine = scalability_configuration(8, buses=None)
+    result = MirsC(machine).schedule(LOOPS[0].graph)
+    assert result.converged
+
+
+def test_register_constraint_is_hard():
+    machine = paper_configuration(4, 16)
+    for loop in LOOPS:
+        result = MirsC(machine).schedule(loop.graph)
+        assert result.converged
+        assert all(used <= 16 for used in result.register_usage.values())
+
+
+def test_spills_only_when_constrained():
+    roomy = paper_configuration(1, 128)
+    for loop in LOOPS[:3]:
+        result = MirsC(roomy).schedule(loop.graph)
+        assert result.spill_operations == 0 or result.max_live[0] > 64
+
+
+def test_execution_cycles_account_for_pipeline_fill():
+    machine = paper_configuration(1, 64)
+    result = MirsC(machine).schedule(LOOPS[0].graph)
+    expected = result.ii * (result.trip_count + result.stage_count - 1)
+    assert result.execution_cycles == expected
+
+
+def test_mirs_alias_requires_single_cluster():
+    with pytest.raises(SchedulingError):
+        Mirs(paper_configuration(2, 64))
+    result = Mirs(paper_configuration(1, 64)).schedule(LOOPS[0].graph)
+    assert result.converged
+
+
+def test_moves_appear_only_on_clustered_machines():
+    unified = paper_configuration(1, 64)
+    clustered = paper_configuration(4, 64)
+    for loop in LOOPS[:3]:
+        assert MirsC(unified).schedule(loop.graph).move_operations == 0
+    assert any(
+        MirsC(clustered).schedule(loop.graph).move_operations > 0
+        for loop in LOOPS
+    )
+
+
+def test_summary_is_printable():
+    result = MirsC(paper_configuration(2, 64)).schedule(LOOPS[0].graph)
+    summary = result.summary()
+    assert "II=" in summary and "ok" in summary
+
+
+def test_custom_params_accepted():
+    params = MirsParams(
+        budget_ratio=2, spill_gauge=1.5, min_span_gauge=2, distance_gauge=8
+    )
+    machine = paper_configuration(2, 32)
+    result = MirsC(machine, params=params).schedule(LOOPS[0].graph)
+    assert result.converged

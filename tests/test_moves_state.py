@@ -1,0 +1,199 @@
+"""Unit tests for move insertion/removal and the ejection rules."""
+
+import pytest
+
+from repro import DepKind, LoopBuilder, OpKind
+from repro.cluster.moves import MovePlan, add_invariant_move, add_move, next_needed_move
+from repro.core.params import MirsParams
+from repro.core.state import SchedulerState
+
+from tests.helpers import TWO_CLUSTER
+
+
+def _state(graph, machine=TWO_CLUSTER, ii=8):
+    priorities = {n.id: float(100 - n.id) for n in graph.nodes()}
+    return SchedulerState(graph, machine, ii, priorities, MirsParams())
+
+
+def _producer_consumer():
+    b = LoopBuilder("pc")
+    x = b.load(array=0)
+    y = b.add(x)
+    return b.build(), x, y
+
+
+class TestNeedMove:
+    def test_no_move_same_cluster(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        assert next_needed_move(state, graph.node(y.id), 0) is None
+
+    def test_operand_side_move(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        plan = next_needed_move(state, graph.node(y.id), 1)
+        assert plan is not None
+        assert plan.producer == x.id
+        assert (plan.src_cluster, plan.dst_cluster) == (0, 1)
+
+    def test_consumer_side_move(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        state.schedule.place(graph.node(y.id), 1, 10)
+        plan = next_needed_move(state, graph.node(x.id), 0)
+        assert plan is not None
+        assert plan.producer == x.id
+        assert (plan.src_cluster, plan.dst_cluster) == (0, 1)
+
+    def test_one_move_per_destination_cluster(self):
+        b = LoopBuilder("multi")
+        x = b.load(array=0)
+        u = b.add(x)
+        v = b.mul(x)
+        graph = b.build()
+        state = _state(graph)
+        state.schedule.place(graph.node(u.id), 1, 10)
+        state.schedule.place(graph.node(v.id), 1, 12)
+        plan = next_needed_move(state, graph.node(x.id), 0)
+        assert plan is not None
+        assert len(plan.edges) == 2  # both consumers share one move
+
+
+class TestAddRemoveMove:
+    def test_add_move_rewires_edges_and_distances(self):
+        b = LoopBuilder("dist")
+        x = b.load(array=0)
+        y = b.add(x)
+        graph = b.build()
+        edge = graph.out_edges(x.id)[0]
+        graph.remove_edge(edge)
+        graph.add_edge(x.id, y.id, distance=2)
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        plan = next_needed_move(state, graph.node(y.id), 1)
+        move = add_move(state, plan)
+        # x -> move carries the distance, move -> y is residual 0.
+        in_edge = graph.in_edges(move.id)[0]
+        out_edge = graph.out_edges(move.id)[0]
+        assert in_edge.src == x.id and in_edge.distance == 2
+        assert out_edge.dst == y.id and out_edge.distance == 0
+        assert move.src_cluster == 0
+        assert move.move_of == x.id
+
+    def test_remove_move_reconnects_with_combined_distance(self):
+        b = LoopBuilder("rm")
+        x = b.load(array=0)
+        y = b.add(x)
+        graph = b.build()
+        edge = graph.out_edges(x.id)[0]
+        graph.remove_edge(edge)
+        graph.add_edge(x.id, y.id, distance=3)
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        plan = next_needed_move(state, graph.node(y.id), 1)
+        move = add_move(state, plan)
+        state.remove_move(move.id)
+        assert move.id not in graph
+        restored = graph.out_edges(x.id)[0]
+        assert restored.dst == y.id
+        assert restored.distance == 3
+
+    def test_ejecting_producer_removes_its_moves(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        plan = next_needed_move(state, graph.node(y.id), 1)
+        move = add_move(state, plan)
+        state.schedule.place(move, 1, 4, src_cluster=0)
+        state.eject_node(x.id)
+        assert move.id not in graph
+        # y's operand edge points straight back at x.
+        assert graph.preds(y.id) == {x.id}
+
+    def test_ejecting_unique_consumer_removes_feeding_move(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        plan = next_needed_move(state, graph.node(y.id), 1)
+        move = add_move(state, plan)
+        state.schedule.place(move, 1, 4, src_cluster=0)
+        state.schedule.place(graph.node(y.id), 1, 8)
+        state.eject_node(y.id)
+        assert move.id not in graph
+        assert y.id in state.pl
+
+    def test_ejected_move_returns_to_priority_list(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        state.schedule.place(graph.node(x.id), 0, 0)
+        plan = next_needed_move(state, graph.node(y.id), 1)
+        move = add_move(state, plan)
+        state.schedule.place(move, 1, 4, src_cluster=0)
+        state.eject_node(move.id)
+        assert move.id in graph  # resource ejection keeps the move
+        assert move.id in state.pl
+
+
+class TestInvariantMoves:
+    def test_add_invariant_move_rewires_consumers(self):
+        b = LoopBuilder("inv")
+        u = b.add()
+        v = b.mul()
+        inv = b.invariant("c")
+        inv.consumers |= {u.id, v.id}
+        graph = b.build()
+        state = _state(graph)
+        state.schedule.place(graph.node(u.id), 0, 0)
+        state.schedule.place(graph.node(v.id), 1, 0)
+        move = add_invariant_move(state, inv.id, [u.id], 1, 0)
+        assert move.move_of_invariant == inv.id
+        assert u.id not in inv.consumers
+        assert v.id in inv.consumers
+        assert (inv.id, 0) in state.spilled_invariants
+        assert graph.succs(move.id) == {u.id}
+
+    def test_remove_invariant_move_restores_consumption(self):
+        b = LoopBuilder("inv")
+        u = b.add()
+        inv = b.invariant("c")
+        inv.consumers.add(u.id)
+        graph = b.build()
+        state = _state(graph)
+        state.schedule.place(graph.node(u.id), 0, 0)
+        move = add_invariant_move(state, inv.id, [u.id], 1, 0)
+        state.schedule.place(move, 0, 2, src_cluster=1)
+        state.remove_move(move.id)
+        assert u.id in inv.consumers
+        assert (inv.id, 0) not in state.spilled_invariants
+
+
+class TestStateBookkeeping:
+    def test_memory_count_tracks_graph(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        assert state.memory_operation_count() == 1
+        state.note_memory_node_added()
+        assert state.memory_operation_count() == 2
+
+    def test_traffic_infeasibility(self):
+        b = LoopBuilder("mem")
+        for i in range(10):
+            b.load(array=i)
+        graph = b.build()
+        state = _state(graph, TWO_CLUSTER, ii=2)
+        # 10 loads > 2 cycles x 4 ports = 8 slots.
+        assert state.memory_traffic_infeasible()
+        assert state.suggested_restart_ii() >= 3
+
+    def test_add_move_within_cluster_rejected(self):
+        graph, x, y = _producer_consumer()
+        state = _state(graph)
+        plan = MovePlan(
+            producer=x.id, src_cluster=0, dst_cluster=0, edges=()
+        )
+        from repro import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            add_move(state, plan)

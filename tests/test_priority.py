@@ -1,0 +1,65 @@
+"""Unit tests for the PriorityList."""
+
+import pytest
+
+from repro import SchedulingError
+from repro.core.priority import PriorityList
+
+
+class TestPriorityList:
+    def test_pops_highest_priority_first(self):
+        pl = PriorityList()
+        pl.push(1, 5.0)
+        pl.push(2, 9.0)
+        pl.push(3, 7.0)
+        assert [pl.pop(), pl.pop(), pl.pop()] == [2, 3, 1]
+
+    def test_fifo_tie_break(self):
+        pl = PriorityList()
+        pl.push(10, 1.0)
+        pl.push(20, 1.0)
+        assert pl.pop() == 10
+        assert pl.pop() == 20
+
+    def test_repush_uses_original_priority(self):
+        pl = PriorityList()
+        pl.push(1, 5.0)
+        pl.push(2, 3.0)
+        popped = pl.pop()
+        assert popped == 1
+        pl.push(1)  # ejected: back with original priority
+        assert pl.pop() == 1
+
+    def test_push_without_priority_requires_registration(self):
+        pl = PriorityList()
+        with pytest.raises(SchedulingError):
+            pl.push(99)
+
+    def test_double_push_is_idempotent(self):
+        pl = PriorityList()
+        pl.push(1, 2.0)
+        pl.push(1, 2.0)
+        assert len(pl) == 1
+        pl.pop()
+        assert pl.empty()
+
+    def test_discard(self):
+        pl = PriorityList()
+        pl.push(1, 1.0)
+        pl.push(2, 2.0)
+        pl.discard(2)
+        assert 2 not in pl
+        assert pl.pop() == 1
+        assert pl.empty()
+
+    def test_pop_empty_rejected(self):
+        pl = PriorityList()
+        with pytest.raises(SchedulingError):
+            pl.pop()
+
+    def test_membership_and_len(self):
+        pl = PriorityList()
+        pl.push(4, 1.0)
+        assert 4 in pl
+        assert len(pl) == 1
+        assert not pl.empty()

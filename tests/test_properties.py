@@ -1,0 +1,126 @@
+"""Property-based tests: every schedule either scheduler produces on any
+workload must satisfy the paper's invariants (DESIGN.md Section 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MirsC,
+    NonIterativeScheduler,
+    compute_mii,
+    parse_config,
+    verify_schedule,
+)
+from repro.workloads.unroll import unroll
+
+from tests.helpers import (
+    FOUR_CLUSTER,
+    TWO_CLUSTER,
+    UNIFIED,
+    UNIFIED_SMALL,
+    graph_seeds,
+    random_graph,
+)
+
+MACHINES = [UNIFIED, TWO_CLUSTER, FOUR_CLUSTER]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=graph_seeds, machine_index=st.integers(0, len(MACHINES) - 1))
+def test_mirsc_schedules_are_always_valid(seed, machine_index):
+    """Dependences, resources, cluster locality, register capacity."""
+    machine = MACHINES[machine_index]
+    graph = random_graph(seed, size=8 + seed % 5)
+    result = MirsC(machine).schedule(graph)
+    assert result.converged
+    assert result.ii >= result.mii
+    violations = verify_schedule(
+        result.graph,
+        machine,
+        result.ii,
+        result.times,
+        result.clusters,
+        result.register_usage,
+    )
+    assert violations == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=graph_seeds)
+def test_mirsc_respects_tight_register_files(seed):
+    machine = UNIFIED_SMALL  # 16 registers
+    graph = random_graph(seed, size=10)
+    result = MirsC(machine).schedule(graph)
+    assert result.converged
+    assert all(used <= 16 for used in result.register_usage.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=graph_seeds)
+def test_baseline_schedules_are_valid_when_converged(seed):
+    machine = TWO_CLUSTER
+    graph = random_graph(seed, size=9)
+    result = NonIterativeScheduler(machine).schedule(graph)
+    if not result.converged:
+        return
+    violations = verify_schedule(
+        result.graph,
+        machine,
+        result.ii,
+        result.times,
+        result.clusters,
+        result.register_usage,
+    )
+    assert violations == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=graph_seeds)
+def test_mirsc_never_loses_to_baseline_unbounded(seed):
+    """Table 1's invariant: with unbounded registers MIRS-C's II is never
+    worse on loops both schedulers handle."""
+    machine = parse_config("2-(GP4M2-REGinf)")
+    graph = random_graph(seed, size=8)
+    ours = MirsC(machine).schedule(graph)
+    base = NonIterativeScheduler(machine).schedule(graph)
+    assert ours.converged
+    if base.converged:
+        assert ours.ii <= base.ii
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=graph_seeds, factor=st.integers(2, 4))
+def test_unroll_preserves_mii_rate(seed, factor):
+    """Unrolling by f multiplies the work per iteration by f, so the
+    resource MII must scale by at most f (and the per-original-iteration
+    initiation rate never degrades just from re-indexing)."""
+    graph = random_graph(seed, size=7)
+    unrolled = unroll(graph, factor)
+    assert len(unrolled) == factor * len(graph)
+    base_mii = compute_mii(graph, UNIFIED)
+    unrolled_mii = compute_mii(unrolled, UNIFIED)
+    assert unrolled_mii <= factor * base_mii + 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=graph_seeds)
+def test_schedule_is_deterministic(seed):
+    graph = random_graph(seed, size=8)
+    first = MirsC(TWO_CLUSTER).schedule(graph)
+    second = MirsC(TWO_CLUSTER).schedule(graph)
+    assert first.ii == second.ii
+    assert first.times == second.times
+    assert first.clusters == second.clusters
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=graph_seeds)
+def test_maxlive_is_a_lower_bound_for_allocation(seed):
+    graph = random_graph(seed, size=8)
+    result = MirsC(UNIFIED).schedule(graph)
+    for cluster, used in result.register_usage.items():
+        assert used >= result.max_live[cluster] - len(
+            result.graph.invariants()
+        ) - 1 or used >= 0
+        # Greedy wrap-around colouring stays close to MaxLive.
+        assert used <= result.max_live[cluster] + 3

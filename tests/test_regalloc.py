@@ -1,0 +1,106 @@
+"""Unit tests for wrap-around register allocation."""
+
+import pytest
+
+from repro import LoopBuilder
+from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.regalloc import _colour_arcs, allocate_registers
+
+from tests.helpers import UNIFIED
+
+
+class TestColourArcs:
+    def test_disjoint_arcs_share_colour(self):
+        arcs = [(1, 0, 2), (2, 4, 2)]
+        count, chosen = _colour_arcs(arcs, ii=8)
+        assert count == 1
+        assert chosen[1] == chosen[2]
+
+    def test_overlapping_arcs_get_distinct_colours(self):
+        arcs = [(1, 0, 5), (2, 3, 5)]
+        count, chosen = _colour_arcs(arcs, ii=8)
+        assert count == 2
+        assert chosen[1] != chosen[2]
+
+    def test_wrap_around_overlap_detected(self):
+        # Arc A covers rows 6,7,0; arc B covers rows 7,0,1: they overlap.
+        arcs = [(1, 6, 3), (2, 7, 3)]
+        count, chosen = _colour_arcs(arcs, ii=8)
+        assert count == 2
+
+    def test_colour_count_matches_density_on_interval_family(self):
+        # Nested intervals: density equals the family size.
+        arcs = [(v, 0, 8 - v) for v in range(1, 5)]
+        count, _ = _colour_arcs(arcs, ii=8)
+        assert count == 4
+
+    def test_empty(self):
+        assert _colour_arcs([], ii=4) == (0, {})
+
+    def test_no_two_overlapping_arcs_share_colour(self):
+        import random
+
+        rng = random.Random(7)
+        ii = 12
+        arcs = [
+            (v, rng.randrange(ii), rng.randint(1, ii))
+            for v in range(30)
+        ]
+        _, chosen = _colour_arcs(arcs, ii=ii)
+
+        def rows(start, length):
+            return {(start + i) % ii for i in range(length)}
+
+        by_colour: dict[int, set] = {}
+        for value, start, length in arcs:
+            colour = chosen[value]
+            occupied = by_colour.setdefault(colour, set())
+            arc_rows = rows(start, length)
+            assert not (occupied & arc_rows), "colour reuse with overlap"
+            occupied |= arc_rows
+
+
+class TestAllocateRegisters:
+    def _analysed(self, graph, placements, ii):
+        schedule = PartialSchedule(UNIFIED, ii=ii)
+        for node_id, cycle in placements.items():
+            schedule.place(graph.node(node_id), 0, cycle)
+        return schedule
+
+    def test_allocation_at_least_maxlive(self):
+        b = LoopBuilder("a")
+        x = b.load(array=0)
+        y = b.load(array=1)
+        z = b.add(x, y)
+        b.store(z, array=2)
+        graph = b.build()
+        schedule = self._analysed(
+            graph, {0: 0, 1: 0, 2: 2, 3: 6}, ii=4
+        )
+        analysis = LifetimeAnalysis(graph, schedule, UNIFIED)
+        allocations = allocate_registers(graph, schedule, UNIFIED, analysis)
+        assert allocations[0].registers_used >= analysis.max_live(0)
+        # Greedy wrap-around colouring stays within a whisker of MaxLive.
+        assert allocations[0].registers_used <= analysis.max_live(0) + 2
+
+    def test_long_lifetime_gets_multiple_registers(self):
+        b = LoopBuilder("long")
+        x = b.load(array=0)
+        y = b.add(x)
+        graph = b.build()
+        schedule = self._analysed(graph, {x.id: 0, y.id: 9}, ii=3)
+        allocations = allocate_registers(graph, schedule, UNIFIED)
+        # Lifetime of x = 9 cycles = 3 full II periods: 3 registers.
+        assert len(allocations[0].assignment[x.id]) == 3
+
+    def test_invariant_registers_included(self):
+        b = LoopBuilder("inv")
+        u = b.add()
+        inv = b.invariant("c")
+        inv.consumers.add(u.id)
+        graph = b.build()
+        schedule = self._analysed(graph, {u.id: 0}, ii=4)
+        allocations = allocate_registers(graph, schedule, UNIFIED)
+        assert allocations[0].invariant_registers == 1
+        assert allocations[0].registers_used >= 1

@@ -1,0 +1,82 @@
+"""Unit tests for reservation tables."""
+
+import pytest
+
+from repro import OpKind, parse_config
+from repro.machine.reservation import (
+    ClusterRole,
+    ReservationStep,
+    max_occupancy,
+    reservation_steps,
+)
+from repro.machine.resources import ResourceClass
+
+
+@pytest.fixture
+def machine():
+    return parse_config("2-(GP4M2-REG64)", move_latency=3)
+
+
+class TestComputeSteps:
+    def test_pipelined_compute_single_slot(self, machine):
+        steps = reservation_steps(OpKind.ADD, machine)
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.resource is ResourceClass.GP_FU
+        assert step.role is ClusterRole.SELF
+        assert step.duration == 1
+
+    def test_unpipelined_compute_full_occupancy(self, machine):
+        div = reservation_steps(OpKind.DIV, machine)[0]
+        assert div.duration == 17
+        assert div.same_instance == 1
+        sqrt = reservation_steps(OpKind.SQRT, machine)[0]
+        assert sqrt.duration == 30
+
+    def test_memory_uses_port(self, machine):
+        for kind in (OpKind.LOAD, OpKind.STORE):
+            steps = reservation_steps(kind, machine)
+            assert len(steps) == 1
+            assert steps[0].resource is ResourceClass.MEM_PORT
+
+
+class TestMoveSteps:
+    def test_move_is_coupled_send_receive(self, machine):
+        steps = reservation_steps(OpKind.MOVE, machine)
+        resources = {s.resource for s in steps}
+        assert resources == {
+            ResourceClass.OUT_PORT, ResourceClass.BUS, ResourceClass.IN_PORT
+        }
+
+    def test_move_receive_offset_is_latency_minus_one(self, machine):
+        steps = {
+            s.resource: s for s in reservation_steps(OpKind.MOVE, machine)
+        }
+        assert steps[ResourceClass.OUT_PORT].offset == 0
+        assert steps[ResourceClass.BUS].offset == 0
+        assert steps[ResourceClass.IN_PORT].offset == machine.move_latency - 1
+
+    def test_move_sides(self, machine):
+        steps = {
+            s.resource: s for s in reservation_steps(OpKind.MOVE, machine)
+        }
+        assert steps[ResourceClass.OUT_PORT].role is ClusterRole.SOURCE
+        assert steps[ResourceClass.IN_PORT].role is ClusterRole.SELF
+        assert steps[ResourceClass.BUS].role is ClusterRole.GLOBAL
+
+
+class TestRows:
+    def test_rows_wrap_modulo_ii(self):
+        step = ReservationStep(
+            resource=ResourceClass.GP_FU,
+            role=ClusterRole.SELF,
+            offset=3,
+            duration=4,
+        )
+        assert step.rows(5) == [3, 4, 0, 1]
+
+    def test_max_occupancy(self, machine):
+        assert max_occupancy(machine, {OpKind.ADD, OpKind.MUL}) == 1
+        assert max_occupancy(machine, {OpKind.ADD, OpKind.DIV}) == 17
+        assert max_occupancy(machine, {OpKind.SQRT, OpKind.DIV}) == 30
+        assert max_occupancy(machine, {OpKind.LOAD}) == 1

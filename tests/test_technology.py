@@ -1,0 +1,117 @@
+"""Unit tests for the Rixner-style technology model (Figure 2)."""
+
+import pytest
+
+from repro import ConfigError, TechnologyModel, parse_config
+from repro.machine.config import paper_configuration
+
+
+@pytest.fixture
+def tech():
+    return TechnologyModel()
+
+
+class TestMonotonicity:
+    def test_cycle_time_grows_with_registers(self, tech):
+        times = [
+            tech.cycle_time_ns(paper_configuration(1, z))
+            for z in (16, 32, 64, 128)
+        ]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_area_grows_with_registers(self, tech):
+        areas = [
+            tech.area(paper_configuration(2, z)) for z in (16, 32, 64, 128)
+        ]
+        assert areas == sorted(areas)
+
+    def test_power_grows_with_registers(self, tech):
+        powers = [
+            tech.power(paper_configuration(4, z)) for z in (16, 32, 64, 128)
+        ]
+        assert powers == sorted(powers)
+
+    def test_clustering_shrinks_cycle_time_at_equal_z(self, tech):
+        for z in (16, 32, 64, 128):
+            unified = tech.cycle_time_ns(paper_configuration(1, z))
+            two = tech.cycle_time_ns(paper_configuration(2, z))
+            four = tech.cycle_time_ns(paper_configuration(4, z))
+            assert four < two < unified
+
+
+class TestPaperAnchors:
+    """The five calibration anchors quoted in Sections 1 and 4.2."""
+
+    def test_cycle_time_anchor(self, tech):
+        clustered = paper_configuration(4, 64)
+        unified16 = paper_configuration(1, 16)
+        assert tech.cycle_time_ns(clustered) < tech.cycle_time_ns(unified16)
+        # ... but only slightly below.
+        assert tech.cycle_time_ns(clustered) > 0.9 * tech.cycle_time_ns(unified16)
+
+    def test_area_anchor(self, tech):
+        ratio = tech.area(paper_configuration(4, 64)) / tech.area(
+            paper_configuration(1, 32)
+        )
+        assert 0.8 < ratio < 1.3
+
+    def test_power_anchor(self, tech):
+        ratio = tech.power(paper_configuration(4, 64)) / tech.power(
+            paper_configuration(1, 16)
+        )
+        assert 0.8 < ratio < 1.2
+
+    def test_area_reduction_factors(self, tech):
+        unified = paper_configuration(1, 64)
+        assert (
+            0.10
+            < tech.area(paper_configuration(4, 16)) / tech.area(unified)
+            < 0.25
+        )
+        assert (
+            0.30
+            < tech.area(paper_configuration(2, 32)) / tech.area(unified)
+            < 0.45
+        )
+
+    def test_power_reduction_factors(self, tech):
+        unified = paper_configuration(1, 64)
+        assert (
+            0.40
+            < tech.power(paper_configuration(4, 16)) / tech.power(unified)
+            < 0.60
+        )
+        assert (
+            0.60
+            < tech.power(paper_configuration(2, 32)) / tech.power(unified)
+            < 0.85
+        )
+
+
+class TestMissLatency:
+    def test_25ns_conversion(self, tech):
+        machine = paper_configuration(1, 64)
+        cycles = tech.miss_latency_cycles(machine)
+        assert cycles == -(-25.0 // tech.cycle_time_ns(machine)) or cycles >= 1
+        assert cycles * tech.cycle_time_ns(machine) >= 25.0
+
+    def test_faster_clock_means_more_miss_cycles(self, tech):
+        slow = paper_configuration(1, 128)
+        fast = paper_configuration(4, 16)
+        assert tech.miss_latency_cycles(fast) > tech.miss_latency_cycles(slow)
+
+    def test_execution_time(self, tech):
+        machine = paper_configuration(1, 64)
+        assert tech.execution_time_ns(machine, 1000) == pytest.approx(
+            1000 * tech.cycle_time_ns(machine)
+        )
+
+
+class TestErrors:
+    def test_unbounded_registers_have_no_physical_model(self, tech):
+        machine = parse_config("1-(GP8M4-REGinf)")
+        with pytest.raises(ConfigError):
+            tech.cycle_time_ns(machine)
+        with pytest.raises(ConfigError):
+            tech.area(machine)

@@ -1,0 +1,75 @@
+"""The verifier must catch planted violations (it guards every result)."""
+
+import pytest
+
+from repro import LoopBuilder, MirsC, verify_schedule
+
+from tests.helpers import TWO_CLUSTER, UNIFIED, daxpy
+
+
+@pytest.fixture
+def valid_result():
+    return MirsC(UNIFIED).schedule(daxpy())
+
+
+class TestVerifier:
+    def test_valid_schedule_passes(self, valid_result):
+        violations = verify_schedule(
+            valid_result.graph,
+            UNIFIED,
+            valid_result.ii,
+            valid_result.times,
+            valid_result.clusters,
+            valid_result.register_usage,
+        )
+        assert violations == []
+
+    def test_detects_missing_node(self, valid_result):
+        times = dict(valid_result.times)
+        victim = next(iter(times))
+        del times[victim]
+        violations = verify_schedule(
+            valid_result.graph, UNIFIED, valid_result.ii,
+            times, valid_result.clusters,
+        )
+        assert any("not scheduled" in v for v in violations)
+
+    def test_detects_dependence_violation(self, valid_result):
+        times = dict(valid_result.times)
+        graph = valid_result.graph
+        edge = next(iter(graph.edges()))
+        times[edge.dst] = times[edge.src] - 100
+        violations = verify_schedule(
+            graph, UNIFIED, valid_result.ii, times, valid_result.clusters
+        )
+        assert any("violated" in v for v in violations)
+
+    def test_detects_resource_oversubscription(self):
+        b = LoopBuilder("over")
+        loads = [b.load(array=i) for i in range(5)]
+        graph = b.build()
+        times = {load.id: 0 for load in loads}  # 5 loads, 4 ports, II=1
+        clusters = {load.id: 0 for load in loads}
+        violations = verify_schedule(graph, UNIFIED, 1, times, clusters)
+        assert any("resource conflict" in v for v in violations)
+
+    def test_detects_cross_cluster_register_use(self):
+        b = LoopBuilder("cross")
+        x = b.load(array=0)
+        y = b.add(x)
+        graph = b.build()
+        times = {x.id: 0, y.id: 10}
+        clusters = {x.id: 0, y.id: 1}  # no move in between!
+        violations = verify_schedule(graph, TWO_CLUSTER, 4, times, clusters)
+        assert any("cross-cluster" in v for v in violations)
+
+    def test_detects_register_overuse(self, valid_result):
+        violations = verify_schedule(
+            valid_result.graph,
+            UNIFIED,
+            valid_result.ii,
+            valid_result.times,
+            valid_result.clusters,
+            register_usage={0: 10_000},
+        )
+        assert any("registers" in v for v in violations)
