@@ -17,7 +17,7 @@ from repro.machine.config import paper_configuration
 from repro.workloads.perfect import cached_suite
 
 
-def _sweep(loops):
+def _sweep(loops, executor=None):
     rows = []
     for k in (2, 4):
         machine = paper_configuration(k, 32)
@@ -25,7 +25,7 @@ def _sweep(loops):
             ("single victim (paper)", MirsParams()),
             ("eject all [6,16,28]", MirsParams(eject_all=True)),
         ):
-            run = schedule_suite(machine, loops, "mirsc", params)
+            run = schedule_suite(machine, loops, "mirsc", params, executor=executor)
             rows.append(
                 [
                     k,
@@ -38,9 +38,11 @@ def _sweep(loops):
     return rows
 
 
-def test_ablation_ejection(benchmark, table_sink):
+def test_ablation_ejection(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(10))
-    rows = benchmark.pedantic(_sweep, args=(loops,), rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        _sweep, args=(loops, executor), rounds=1, iterations=1
+    )
     headers = ["k", "policy", "sum II", "ejections", "sched time (s)"]
     text = render_table(
         f"Ablation: ejection policy ({len(loops)} loops)",

@@ -17,7 +17,7 @@ from repro.machine.config import paper_configuration
 from repro.workloads.perfect import cached_suite
 
 
-def _sweep(loops):
+def _sweep(loops, executor=None):
     machine = paper_configuration(4, 16)
     variants = [
         ("paper (SG=2 MSG=4 DG=4 BR=3)", MirsParams()),
@@ -32,7 +32,7 @@ def _sweep(loops):
     ]
     rows = []
     for label, params in variants:
-        run = schedule_suite(machine, loops, "mirsc", params)
+        run = schedule_suite(machine, loops, "mirsc", params, executor=executor)
         rows.append(
             [
                 label,
@@ -46,9 +46,11 @@ def _sweep(loops):
     return rows
 
 
-def test_ablation_gauges(benchmark, table_sink):
+def test_ablation_gauges(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(10))
-    rows = benchmark.pedantic(_sweep, args=(loops,), rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        _sweep, args=(loops, executor), rounds=1, iterations=1
+    )
     headers = [
         "variant", "sum II", "sum trf", "spill ops",
         "not cnvr", "sched time (s)",

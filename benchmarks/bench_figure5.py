@@ -18,10 +18,14 @@ from repro.eval.reporting import render_table
 from repro.workloads.perfect import cached_suite
 
 
-def test_figure5(benchmark, table_sink):
+def test_figure5(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(8))
     headers, rows, note = benchmark.pedantic(
-        figure5_rows, args=(loops,), rounds=1, iterations=1
+        figure5_rows,
+        args=(loops,),
+        kwargs={"executor": executor},
+        rounds=1,
+        iterations=1,
     )
     text = render_table(
         f"Figure 5: ideal memory ({len(loops)} loops)", headers, rows, note

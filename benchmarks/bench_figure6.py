@@ -14,12 +14,12 @@ from repro.eval.reporting import render_table
 from repro.workloads.perfect import cached_suite
 
 
-def test_figure6(benchmark, table_sink):
+def test_figure6(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(10))
     headers, rows, note = benchmark.pedantic(
         figure6_rows,
         args=(loops,),
-        kwargs={"clusters": (1, 2, 4, 6, 8)},
+        kwargs={"clusters": (1, 2, 4, 6, 8), "executor": executor},
         rounds=1,
         iterations=1,
     )

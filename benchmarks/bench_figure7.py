@@ -20,10 +20,14 @@ from repro.eval.reporting import render_table
 from repro.workloads.perfect import cached_suite
 
 
-def test_figure7(benchmark, table_sink):
+def test_figure7(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(8))
     headers, rows, note = benchmark.pedantic(
-        figure7_rows, args=(loops,), rounds=1, iterations=1
+        figure7_rows,
+        args=(loops,),
+        kwargs={"executor": executor},
+        rounds=1,
+        iterations=1,
     )
     text = render_table(
         f"Figure 7: real memory + binding prefetching ({len(loops)} loops)",

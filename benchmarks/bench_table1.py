@@ -15,10 +15,14 @@ from repro.eval.reporting import render_table
 from repro.workloads.perfect import cached_suite
 
 
-def test_table1(benchmark, table_sink):
+def test_table1(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(16))
     headers, rows, note = benchmark.pedantic(
-        table1_rows, args=(loops,), rounds=1, iterations=1
+        table1_rows,
+        args=(loops,),
+        kwargs={"executor": executor},
+        rounds=1,
+        iterations=1,
     )
     text = render_table(
         f"Table 1: unbounded registers ({len(loops)} loops)",

@@ -13,10 +13,14 @@ from repro.eval.reporting import render_table
 from repro.workloads.perfect import cached_suite
 
 
-def test_table3(benchmark, table_sink):
+def test_table3(benchmark, table_sink, executor):
     loops = cached_suite(loops_for(12))
     headers, rows, note = benchmark.pedantic(
-        table3_rows, args=(loops,), rounds=1, iterations=1
+        table3_rows,
+        args=(loops,),
+        kwargs={"executor": executor},
+        rounds=1,
+        iterations=1,
     )
     text = render_table(
         f"Table 3: scheduling time ({len(loops)} loops)",

@@ -21,7 +21,6 @@ from __future__ import annotations
 import time
 
 from repro.core.params import MirsParams, max_ii_for
-from repro.core.priority import PriorityList
 from repro.core.result import ScheduleResult
 from repro.core.state import SchedulerState
 from repro.core.verify import verify_schedule

@@ -8,13 +8,20 @@ Commands:
 * ``compare``  - run MIRS-C and the non-iterative baseline [31] over a
   workbench subset on one configuration and print the comparison;
 * ``suite``    - print structural statistics of the synthetic workbench;
-* ``technology`` - print the Figure 2 technology table.
+* ``technology`` - print the Figure 2 technology table;
+* ``cache``    - inspect or clear the on-disk schedule-result cache.
+
+``compare`` runs through the suite-execution engine: ``--jobs N`` shards
+the workbench over N worker processes and results are memoized in the
+cache (``.repro-cache/`` or ``$REPRO_CACHE_DIR``) unless ``--no-cache``
+is given.
 
 Examples::
 
     python -m repro schedule --config "4-(GP2M1-REG16)" --loop 31 --code
-    python -m repro compare --config "2-(GP4M2-REG32)" --loops 12
+    python -m repro compare --config "2-(GP4M2-REG32)" --loops 12 --jobs 4
     python -m repro technology
+    python -m repro cache --clear
 """
 
 from __future__ import annotations
@@ -25,13 +32,14 @@ import sys
 from repro import (
     LoopBuilder,
     MirsC,
-    NonIterativeScheduler,
     generate_code,
     parse_config,
 )
 from repro.eval.experiments import figure2_rows
 from repro.eval.pretty import format_kernel
 from repro.eval.reporting import render_table
+from repro.eval.runner import schedule_suite
+from repro.exec import ResultCache, SuiteExecutor
 from repro.workloads.perfect import build_loop, cached_suite, suite_statistics
 
 
@@ -67,15 +75,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args.config, move_latency=args.move_latency, buses=args.buses
     )
     loops = cached_suite(args.loops)
+    executor = SuiteExecutor(jobs=args.jobs, cache=not args.no_cache)
+    ours_run = schedule_suite(machine, loops, "mirsc", executor=executor)
+    base_run = schedule_suite(machine, loops, "baseline", executor=executor)
     rows = []
-    for loop in loops:
-        ours = MirsC(machine).schedule(loop.graph)
-        base = NonIterativeScheduler(machine).schedule(loop.graph)
+    for loop, ours, base in zip(loops, ours_run.results, base_run.results):
         rows.append(
             [
                 loop.graph.name,
                 len(loop.graph),
-                ours.ii,
+                ours.ii if ours.converged else "n/a",
                 base.ii if base.converged else "n/a",
                 ours.memory_traffic,
                 ours.move_operations,
@@ -89,6 +98,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    stats = executor.stats
+    print(
+        f"[exec] jobs={executor.jobs} scheduled={stats.scheduled} "
+        f"cache_hits={stats.cache_hits} wall={stats.wall_seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir) if args.dir else ResultCache()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    rows = [
+        ["directory", stats.directory],
+        ["entries", stats.entries],
+        ["size (KiB)", round(stats.total_bytes / 1024, 1)],
+    ]
+    print(render_table("Schedule-result cache", ["key", "value"], rows))
     return 0
 
 
@@ -143,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="MIRS-C vs the baseline [31]")
     common(compare)
     compare.add_argument("--loops", type=int, default=8)
+    compare.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all CPUs)",
+    )
+    compare.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk schedule-result cache",
+    )
     compare.set_defaults(func=_cmd_compare)
 
     suite = sub.add_parser("suite", help="workbench statistics")
@@ -153,6 +194,17 @@ def build_parser() -> argparse.ArgumentParser:
         "technology", help="Figure 2 technology table"
     )
     technology.set_defaults(func=_cmd_technology)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument(
+        "--dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every cached result"
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -62,6 +62,15 @@ class MirsParams:
         if self.min_span_gauge < 0 or self.distance_gauge < 0:
             raise ConfigError("gauges must be non-negative")
 
+    def canonical(self) -> dict:
+        """A stable, JSON-serializable form (cache keys, reports).
+
+        All fields are plain scalars, so ``asdict`` is already canonical;
+        kept as a method so new non-scalar fields must make an explicit
+        encoding decision here rather than silently breaking cache keys.
+        """
+        return dataclasses.asdict(self)
+
 
 def max_ii_for(mii: int, node_count: int, params: MirsParams) -> int:
     """The largest II a scheduler will try before giving up.

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import SchedulingError
-from repro.graph.ddg import DepKind, DependenceGraph, Node
+from repro.graph.ddg import DepKind, DependenceGraph
 from repro.machine.config import MachineConfig
 from repro.core.params import MirsParams
 from repro.core.priority import PriorityList

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from repro.core.params import MirsParams
 from repro.eval.runner import SuiteRun, schedule_suite
+from repro.exec.engine import SuiteExecutor
 from repro.machine.config import (
-    MachineConfig,
     paper_configuration,
     scalability_configuration,
 )
@@ -75,8 +75,10 @@ def table1_rows(
     clusters: tuple[int, ...] = (1, 2, 4),
     move_latencies: tuple[int, ...] = (1, 3),
     params: MirsParams | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> Rows:
     """Table 1: unbounded registers - schedule quality head to head."""
+    executor = executor or SuiteExecutor()
     headers = [
         "k", "Lm", "loops", "not different", "different",
         "sum II [31]", "sum II MIRS-C", "II ratio",
@@ -85,8 +87,8 @@ def table1_rows(
     for k in clusters:
         for lm in move_latencies:
             machine = paper_configuration(k, None, move_latency=lm)
-            base = schedule_suite(machine, loops, "baseline", params)
-            ours = schedule_suite(machine, loops, "mirsc", params)
+            base = schedule_suite(machine, loops, "baseline", params, executor=executor)
+            ours = schedule_suite(machine, loops, "mirsc", params, executor=executor)
             common = base.converged_indices() & ours.converged_indices()
             different = _differing(base, ours, common)
             sum_base = base.sum_ii(different)
@@ -111,8 +113,10 @@ def table2_rows(
     move_latencies: tuple[int, ...] = (1, 3),
     total_registers: int = 64,
     params: MirsParams | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> Rows:
     """Table 2: register files constrained to k x z = 64 in total."""
+    executor = executor or SuiteExecutor()
     headers = [
         "k", "Lm", "not cnvr [31]", "different",
         "sum II [31]", "sum II MIRS-C", "II ratio",
@@ -123,8 +127,8 @@ def table2_rows(
         z = total_registers // k
         for lm in move_latencies:
             machine = paper_configuration(k, z, move_latency=lm)
-            base = schedule_suite(machine, loops, "baseline", params)
-            ours = schedule_suite(machine, loops, "mirsc", params)
+            base = schedule_suite(machine, loops, "baseline", params, executor=executor)
+            ours = schedule_suite(machine, loops, "mirsc", params, executor=executor)
             common = base.converged_indices() & ours.converged_indices()
             different = _differing(base, ours, common)
             sum_ii_base = base.sum_ii(different)
@@ -151,6 +155,7 @@ def table3_rows(
     loops: tuple[SuiteLoop, ...],
     move_latencies: tuple[int, ...] = (1, 3),
     params: MirsParams | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> Rows:
     """Table 3: scheduling time of [31] vs MIRS-C.
 
@@ -159,6 +164,7 @@ def table3_rows(
     covers only the loops it converges on (the paper's footnote), while
     MIRS-C also pays for the loops [31] gives up on.
     """
+    executor = executor or SuiteExecutor()
     configs: list[tuple[int, int | None]] = [
         (1, None), (1, 64), (2, None), (2, 32), (4, None), (4, 16),
     ]
@@ -170,8 +176,8 @@ def table3_rows(
     for k, z in configs:
         for lm in move_latencies:
             machine = paper_configuration(k, z, move_latency=lm)
-            base = schedule_suite(machine, loops, "baseline", params)
-            ours = schedule_suite(machine, loops, "mirsc", params)
+            base = schedule_suite(machine, loops, "baseline", params, executor=executor)
+            ours = schedule_suite(machine, loops, "mirsc", params, executor=executor)
             common = base.converged_indices()
             label = f"{k} x {'inf' if z is None else z}"
             rows.append(
@@ -202,9 +208,11 @@ def figure5_rows(
     move_latencies: tuple[int, ...] = (1, 3),
     params: MirsParams | None = None,
     technology: TechnologyModel | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> Rows:
     """Figure 5: execution cycles, memory traffic and execution time."""
     technology = technology or TechnologyModel()
+    executor = executor or SuiteExecutor()
     headers = [
         "Lm", "k", "regs/cluster",
         "exec cycles (M)", "memory ops (M)", "exec time (ms)",
@@ -214,7 +222,9 @@ def figure5_rows(
         for k in clusters:
             for z in registers:
                 machine = paper_configuration(k, z, move_latency=lm)
-                run = schedule_suite(machine, loops, "mirsc", params)
+                run = schedule_suite(
+                    machine, loops, "mirsc", params, executor=executor
+                )
                 cycles = run.sum_cycles()
                 mem_ops = sum(
                     r.memory_traffic * r.trip_count
@@ -246,15 +256,19 @@ def figure6_rows(
     clusters: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
     bus_counts: tuple[int | None, ...] = (2, 3, 4, None),
     params: MirsParams | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> Rows:
     """Figure 6: replicate a GP2M1-REG32 cluster k times, sweep buses."""
+    executor = executor or SuiteExecutor()
     headers = ["buses", "k", "sum cycles (M)", "speedup vs k=1"]
     rows: list[list] = []
     for buses in bus_counts:
         baseline_cycles = None
         for k in clusters:
             machine = scalability_configuration(k, buses=buses)
-            run = schedule_suite(machine, loops, "mirsc", params)
+            run = schedule_suite(
+                machine, loops, "mirsc", params, executor=executor
+            )
             cycles = run.sum_cycles()
             if k == clusters[0]:
                 baseline_cycles = cycles
@@ -286,10 +300,12 @@ def figure7_rows(
     ),
     params: MirsParams | None = None,
     technology: TechnologyModel | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> Rows:
     """Figure 7: useful/stall cycles and execution time, with and without
     selective binding prefetching."""
     technology = technology or TechnologyModel()
+    executor = executor or SuiteExecutor()
     memory = MemoryModel(technology)
     headers = [
         "mode", "k", "regs/cluster",
@@ -298,7 +314,9 @@ def figure7_rows(
     # Normalisation reference: useful cycles of 1-(GP8M4-REG64), hit
     # latency scheduling (the paper's reference configuration).
     reference_machine = paper_configuration(1, 64)
-    reference = schedule_suite(reference_machine, loops, "mirsc", params)
+    reference = schedule_suite(
+        reference_machine, loops, "mirsc", params, executor=executor
+    )
     ref_useful = float(reference.sum_cycles()) or 1.0
     ref_time = technology.execution_time_ns(reference_machine, ref_useful)
 
@@ -313,7 +331,9 @@ def figure7_rows(
                 ]
             else:
                 graphs = None
-            run = schedule_suite(machine, loops, "mirsc", params, graphs=graphs)
+            run = schedule_suite(
+                machine, loops, "mirsc", params, graphs=graphs, executor=executor
+            )
             useful = 0.0
             stall = 0.0
             for result in run.converged:

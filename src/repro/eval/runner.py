@@ -3,12 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
-import os
 
-from repro.baseline.noniterative import NonIterativeScheduler
-from repro.core.mirsc import MirsC
 from repro.core.params import MirsParams
 from repro.core.result import ScheduleResult
+from repro.exec.cache import ResultCache
+from repro.exec.engine import SuiteExecutor, int_env
 from repro.machine.config import MachineConfig
 from repro.workloads.perfect import SuiteLoop, cached_suite
 
@@ -19,11 +18,19 @@ DEFAULT_BENCH_LOOPS = 16
 
 
 def bench_loop_count(default: int = DEFAULT_BENCH_LOOPS) -> int:
-    """Workbench subset size, configurable via ``REPRO_BENCH_LOOPS``."""
-    value = os.environ.get(LOOPS_ENV)
-    if not value:
-        return default
-    return max(1, int(value))
+    """Workbench subset size, configurable via ``REPRO_BENCH_LOOPS``.
+
+    A malformed value warns and falls back to ``default`` rather than
+    killing a whole benchmark run with a ``ValueError``.
+    """
+    return max(
+        1,
+        int_env(
+            LOOPS_ENV,
+            default,
+            fallback_note=f"using the default of {default} loops",
+        ),
+    )
 
 
 def bench_suite(count: int | None = None) -> tuple[SuiteLoop, ...]:
@@ -86,8 +93,16 @@ def schedule_suite(
     scheduler: str = "mirsc",
     params: MirsParams | None = None,
     graphs=None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | bool | None = None,
+    executor: SuiteExecutor | None = None,
 ) -> SuiteRun:
     """Run one scheduler over a workbench subset.
+
+    Thin wrapper over :class:`repro.exec.engine.SuiteExecutor`; with the
+    defaults (``jobs=1``, no cache) it reproduces the historical
+    sequential code path exactly.
 
     Args:
         machine: target configuration.
@@ -96,20 +111,17 @@ def schedule_suite(
         params: algorithm parameters.
         graphs: optional per-loop replacement graphs (used by the
             prefetching experiments, which re-latency the loads).
+        jobs: worker processes (``None``: ``REPRO_JOBS`` env or 1).
+        cache: result cache selector (see
+            :func:`repro.exec.cache.resolve_cache`).
+        executor: a pre-built executor; overrides ``jobs``/``cache`` and
+            accumulates stats across calls.
     """
-    if scheduler == "mirsc":
-        # Non-strict: off-default parameter ablations (e.g. a starved
-        # budget) may legitimately fail to converge; the aggregations
-        # already handle unconverged entries.
-        engine = MirsC(machine, params=params, strict=False)
-    elif scheduler == "baseline":
-        engine = NonIterativeScheduler(machine, params=params)
-    else:
-        raise ValueError(f"unknown scheduler {scheduler!r}")
-    results = []
-    for index, loop in enumerate(loops):
-        graph = graphs[index] if graphs is not None else loop.graph
-        results.append(engine.schedule(graph))
+    if executor is None:
+        executor = SuiteExecutor(jobs=jobs, cache=cache)
+    results = executor.run(
+        machine, loops, scheduler=scheduler, params=params, graphs=graphs
+    )
     return SuiteRun(
         machine=machine, scheduler_name=scheduler, results=results
     )

@@ -1,0 +1,42 @@
+"""Suite-execution engine: parallel fan-out + on-disk result memoization.
+
+The experiment drivers (``repro.eval.experiments``) schedule the same
+(machine, params, loop) combinations over and over across tables and
+figures; at paper scale (``REPRO_BENCH_LOOPS=1258``) re-scheduling them
+sequentially dominates the cost of every run.  This package provides:
+
+* :mod:`repro.exec.hashing` - stable, content-addressed cache keys for
+  (graph, machine configuration, algorithm parameters, scheduler);
+* :mod:`repro.exec.cache` - an on-disk :class:`ResultCache` memoizing
+  :class:`~repro.core.result.ScheduleResult` objects by those keys;
+* :mod:`repro.exec.engine` - the :class:`SuiteExecutor` that shards a
+  workbench across a ``multiprocessing`` worker pool with deterministic
+  result ordering, consulting the cache before scheduling anything.
+
+``jobs=1`` with the cache disabled reproduces the original sequential
+code path bit for bit; everything else is a pure optimisation layer.
+"""
+
+from repro.exec.cache import ResultCache, default_cache_dir, resolve_cache
+from repro.exec.engine import (
+    ExecStats,
+    SuiteExecutor,
+    SuiteSummary,
+    make_engine,
+    resolve_jobs,
+)
+from repro.exec.hashing import cache_key, result_fingerprint, stable_hash
+
+__all__ = [
+    "ExecStats",
+    "ResultCache",
+    "SuiteExecutor",
+    "SuiteSummary",
+    "cache_key",
+    "default_cache_dir",
+    "make_engine",
+    "resolve_cache",
+    "resolve_jobs",
+    "result_fingerprint",
+    "stable_hash",
+]

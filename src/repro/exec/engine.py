@@ -1,0 +1,333 @@
+"""The suite-execution engine.
+
+:class:`SuiteExecutor` turns "run this scheduler over these loops on
+this machine" into a shardable, memoizable job list:
+
+1. every loop's scheduling problem is keyed by a stable content hash
+   (:func:`repro.exec.hashing.cache_key`) and probed against the
+   on-disk :class:`~repro.exec.cache.ResultCache`;
+2. the misses are scheduled — sequentially for ``jobs=1`` (the exact
+   historical code path: one scheduler instance, loops in order), or
+   sharded over a ``multiprocessing`` pool for ``jobs>1``;
+3. results are reassembled *by position*, so the output order is
+   deterministic and identical regardless of worker count or completion
+   order, then written back to the cache.
+
+The schedulers are deterministic, so parallel and sequential runs agree
+on every field except wall-clock timing; tests pin this with
+:func:`repro.exec.hashing.result_fingerprint`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+import warnings
+from collections.abc import Callable, Sequence
+
+from repro.core.params import MirsParams
+from repro.core.result import ScheduleResult
+from repro.exec.cache import ResultCache, resolve_cache
+from repro.exec.hashing import cache_key
+from repro.graph.ddg import DependenceGraph
+from repro.machine.config import MachineConfig
+
+JOBS_ENV = "REPRO_JOBS"
+
+#: Callback invoked after each loop completes:
+#: ``progress(done, total, loop_name, from_cache)``.
+ProgressFn = Callable[[int, int, str, bool], None]
+
+
+def int_env(name: str, default: int, *, fallback_note: str) -> int:
+    """An integer environment knob with warn-and-fallback semantics.
+
+    A malformed value warns and falls back to ``default`` rather than
+    aborting a long benchmark run (shared by ``REPRO_JOBS`` here and
+    ``REPRO_BENCH_LOOPS`` in :mod:`repro.eval.runner`).
+    """
+    value = os.environ.get(name)
+    if not value:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        warnings.warn(
+            f"ignoring malformed {name}={value!r}; {fallback_note}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Normalise a worker count.
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable and
+    then to 1 (sequential); 0 or a negative count means "one worker per
+    CPU".
+    """
+    if jobs is None:
+        jobs = int_env(
+            JOBS_ENV, 1, fallback_note="running sequentially (jobs=1)"
+        )
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def make_engine(
+    machine: MachineConfig,
+    scheduler: str,
+    params: MirsParams | None,
+):
+    """Instantiate a scheduler by name (``"mirsc"`` or ``"baseline"``)."""
+    # Imported lazily: the engine module is imported by worker processes
+    # before they know which scheduler they will run.
+    from repro.baseline.noniterative import NonIterativeScheduler
+    from repro.core.mirsc import MirsC
+
+    if scheduler == "mirsc":
+        # Non-strict: off-default parameter ablations (e.g. a starved
+        # budget) may legitimately fail to converge; the aggregations
+        # already handle unconverged entries.
+        return MirsC(machine, params=params, strict=False)
+    if scheduler == "baseline":
+        return NonIterativeScheduler(machine, params=params)
+    raise ValueError(f"unknown scheduler {scheduler!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+_WORKER_ENGINE = None
+
+
+def _init_worker(
+    machine: MachineConfig, scheduler: str, params: MirsParams | None
+) -> None:
+    """Pool initializer: build the per-process scheduler once."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = make_engine(machine, scheduler, params)
+
+
+def _schedule_item(
+    item: tuple[int, DependenceGraph],
+) -> tuple[int, ScheduleResult]:
+    position, graph = item
+    return position, _WORKER_ENGINE.schedule(graph)
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ExecStats:
+    """Cumulative counters over every :meth:`SuiteExecutor.run` call."""
+
+    loops: int = 0
+    scheduled: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.loops if self.loops else 0.0
+
+
+@dataclasses.dataclass
+class SuiteSummary:
+    """Machine-readable record of one suite execution.
+
+    The benchmark harness collects these into ``BENCH_suite.json`` so
+    successive commits have a perf trajectory to compare against.
+    """
+
+    machine: str
+    scheduler: str
+    loops: int
+    converged: int
+    sum_ii: int
+    sum_traffic: int
+    scheduling_seconds: float
+    wall_seconds: float
+    scheduled: int
+    cache_hits: int
+    jobs: int
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+
+
+class SuiteExecutor:
+    """Shards suite scheduling over workers, memoizing every result.
+
+    Args:
+        jobs: worker processes (see :func:`resolve_jobs`; default 1,
+            i.e. the sequential code path).
+        cache: a :class:`ResultCache`, ``True`` for the default cache,
+            ``False`` to disable, ``None`` to follow the environment
+            (see :func:`repro.exec.cache.resolve_cache`).
+        progress: optional per-loop completion callback.
+
+    One executor may serve many :meth:`run` calls (the experiment
+    drivers issue one per machine configuration); ``stats`` accumulates
+    across them and ``history`` records one summary per call.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | bool | None = None,
+        progress: ProgressFn | None = None,
+    ):
+        self.jobs = resolve_jobs(jobs)
+        self.cache = resolve_cache(cache)
+        self.progress = progress
+        self.stats = ExecStats()
+        self.history: list[SuiteSummary] = []
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        machine: MachineConfig,
+        loops: Sequence,
+        scheduler: str = "mirsc",
+        params: MirsParams | None = None,
+        graphs: Sequence[DependenceGraph] | None = None,
+    ) -> list[ScheduleResult]:
+        """Schedule every loop, in order; see module docstring.
+
+        ``loops`` holds workbench :class:`SuiteLoop` entries (anything
+        with a ``.graph``) or bare dependence graphs; ``graphs``
+        optionally replaces them position-for-position (the prefetching
+        experiments re-latency the loads this way).
+        """
+        started = time.perf_counter()
+        work: list[DependenceGraph] = []
+        for position, loop in enumerate(loops):
+            if graphs is not None:
+                work.append(graphs[position])
+            else:
+                work.append(getattr(loop, "graph", loop))
+
+        # Fail fast on an unknown scheduler, before pools or cache IO.
+        make_engine(machine, scheduler, params)
+
+        results: dict[int, ScheduleResult] = {}
+        keys: dict[int, str] = {}
+        if self.cache is not None:
+            for position, graph in enumerate(work):
+                keys[position] = cache_key(graph, machine, params, scheduler)
+                cached = self.cache.get(keys[position])
+                if cached is not None:
+                    results[position] = cached
+        hits = len(results)
+        misses = [(p, graph) for p, graph in enumerate(work) if p not in results]
+
+        done = hits
+        total = len(work)
+        if self.progress is not None:
+            for count, position in enumerate(sorted(results), start=1):
+                self.progress(count, total, results[position].loop, True)
+
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                fresh = self._run_parallel(machine, scheduler, params, misses)
+            else:
+                fresh = self._run_sequential(machine, scheduler, params, misses)
+            for position, result in fresh:
+                results[position] = result
+                if self.cache is not None:
+                    self.cache.put(keys[position], result)
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, result.loop, False)
+
+        ordered = [results[position] for position in range(total)]
+        self._record(
+            machine, scheduler, ordered,
+            scheduled=len(misses), hits=hits,
+            wall=time.perf_counter() - started,
+        )
+        return ordered
+
+    # ------------------------------------------------------------------
+
+    def _run_sequential(
+        self,
+        machine: MachineConfig,
+        scheduler: str,
+        params: MirsParams | None,
+        misses: list[tuple[int, DependenceGraph]],
+    ) -> list[tuple[int, ScheduleResult]]:
+        engine = make_engine(machine, scheduler, params)
+        return [(position, engine.schedule(graph)) for position, graph in misses]
+
+    def _run_parallel(
+        self,
+        machine: MachineConfig,
+        scheduler: str,
+        params: MirsParams | None,
+        misses: list[tuple[int, DependenceGraph]],
+    ) -> list[tuple[int, ScheduleResult]]:
+        workers = min(self.jobs, len(misses))
+        chunksize = max(1, len(misses) // (workers * 4))
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(machine, scheduler, params),
+        ) as pool:
+            produced = list(
+                pool.imap_unordered(_schedule_item, misses, chunksize=chunksize)
+            )
+        # Reassembled by position: completion order is load-dependent,
+        # the returned order must not be.
+        return sorted(produced, key=lambda pair: pair[0])
+
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        machine: MachineConfig,
+        scheduler: str,
+        results: list[ScheduleResult],
+        *,
+        scheduled: int,
+        hits: int,
+        wall: float,
+    ) -> None:
+        self.stats.loops += len(results)
+        self.stats.scheduled += scheduled
+        self.stats.cache_hits += hits
+        self.stats.wall_seconds += wall
+        converged = [r for r in results if r.converged]
+        self.history.append(
+            SuiteSummary(
+                machine=machine.name,
+                scheduler=scheduler,
+                loops=len(results),
+                converged=len(converged),
+                sum_ii=sum(r.ii for r in converged),
+                sum_traffic=sum(r.memory_traffic for r in converged),
+                scheduling_seconds=round(
+                    sum(r.scheduling_seconds for r in results), 6
+                ),
+                wall_seconds=round(wall, 6),
+                scheduled=scheduled,
+                cache_hits=hits,
+                jobs=self.jobs,
+            )
+        )

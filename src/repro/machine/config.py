@@ -150,6 +150,30 @@ class MachineConfig:
         return self.buses
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> dict:
+        """A stable, JSON-serializable form of this configuration.
+
+        Used by :mod:`repro.exec.hashing` to derive cache keys, so the
+        encoding must be deterministic: the latency table is emitted as a
+        sorted list of ``(kind, latency)`` pairs, never as a dict whose
+        iteration order could depend on insertion history.
+        """
+        return {
+            "clusters": self.clusters,
+            "gp_units": self.cluster.gp_units,
+            "mem_ports": self.cluster.mem_ports,
+            "registers": self.cluster.registers,
+            "buses": self.buses,
+            "move_latency": self.move_latency,
+            "latencies": sorted(
+                (kind.value, latency) for kind, latency in self.latencies.items()
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 

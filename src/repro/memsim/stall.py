@@ -26,7 +26,6 @@ import dataclasses
 
 from repro.core.result import ScheduleResult
 from repro.graph.ddg import DepKind
-from repro.graph.latency import node_latency
 from repro.machine.resources import OpKind
 from repro.machine.technology import TechnologyModel
 from repro.memsim.cache import CacheConfig
@@ -68,7 +67,6 @@ class MemoryModel:
             raise ValueError("stall model needs a converged schedule")
         graph = result.graph
         machine = result.machine
-        ii = result.ii
         miss_latency = self.technology.miss_latency_cycles(machine)
         miss_rates = loop_miss_rates(
             graph, result.times, self.cache_config

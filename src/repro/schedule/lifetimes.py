@@ -21,7 +21,6 @@ import dataclasses
 import numpy as np
 
 from repro.graph.ddg import DepKind, DependenceGraph, Node
-from repro.graph.latency import node_latency
 from repro.machine.config import MachineConfig
 from repro.machine.resources import OpKind
 from repro.schedule.partial import PartialSchedule

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from repro.graph.ddg import DependenceGraph
 from repro.machine.config import MachineConfig
 from repro.schedule.lifetimes import LifetimeAnalysis

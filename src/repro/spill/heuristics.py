@@ -375,11 +375,16 @@ def _spill_invariant(
     such cluster exists or the interconnect is saturated.
     """
     schedule = state.schedule
-    local_consumers = [
+    # Sorted: ``consumers`` is a set whose iteration order depends on
+    # insertion history (and is scrambled by a pickle round-trip, e.g.
+    # when a graph is shipped to a worker process); the spill loads must
+    # be created in a content-determined order so schedules are
+    # bit-identical across processes.
+    local_consumers = sorted(
         c
         for c in invariant.consumers
         if schedule.is_scheduled(c) and schedule.cluster(c) == cluster
-    ]
+    )
     if not local_consumers:
         return
     source = _invariant_source_cluster(state, invariant, cluster)

@@ -1,7 +1,5 @@
 """Tests for the LoopBuilder DSL and the schedule pretty-printer."""
 
-import pytest
-
 from repro import DepKind, LoopBuilder, MirsC, OpKind
 from repro.eval.pretty import format_kernel
 

@@ -26,11 +26,31 @@ class TestCli:
 
     def test_compare(self, capsys):
         assert main(
-            ["compare", "--config", "2-(GP4M2-REG64)", "--loops", "3"]
+            ["compare", "--config", "2-(GP4M2-REG64)", "--loops", "3",
+             "--no-cache"]
         ) == 0
         out = capsys.readouterr().out
         assert "II MIRS-C" in out
         assert "II [31]" in out
+        assert "[exec]" in out
+
+    def test_compare_jobs_and_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        argv = ["compare", "--config", "2-(GP4M2-REG64)", "--loops", "2",
+                "--jobs", "2"]
+        assert main(argv) == 0
+        assert "cache_hits=0" in capsys.readouterr().out
+        # A second run is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "scheduled=0" in out
+        assert "cache_hits=4" in out
+
+    def test_cache_command(self, capsys, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path)]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert main(["cache", "--dir", str(tmp_path), "--clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
 
     def test_suite_statistics(self, capsys):
         assert main(["suite", "--loops", "10"]) == 0

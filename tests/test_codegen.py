@@ -5,7 +5,7 @@ import pytest
 from repro import LoopBuilder, MirsC, parse_config
 from repro.codegen import generate_code, modulo_variable_expansion_factor
 
-from tests.helpers import UNIFIED, daxpy, random_graph, reduction
+from tests.helpers import UNIFIED, daxpy, random_graph
 
 
 @pytest.fixture

@@ -1,0 +1,243 @@
+"""Tests for the suite-execution engine (repro.exec).
+
+Pins the PR's contract: parallel sharding changes nothing but
+wall-clock; the on-disk cache returns identical results without
+re-invoking the scheduler; and cache keys react to every semantic
+input.
+"""
+
+import pytest
+
+from repro.core.mirsc import MirsC
+from repro.core.params import MirsParams
+from repro.eval.experiments import table1_rows
+from repro.eval.runner import bench_loop_count, bench_suite, schedule_suite
+from repro.exec import (
+    ResultCache,
+    SuiteExecutor,
+    cache_key,
+    resolve_cache,
+    resolve_jobs,
+    result_fingerprint,
+)
+from repro.machine.config import paper_configuration
+from repro.workloads.perfect import cached_suite
+
+LOOPS = cached_suite(4)
+MACHINE = paper_configuration(2, 32)
+
+
+def fingerprints(results):
+    return [result_fingerprint(r) for r in results]
+
+
+class TestParallelEqualsSequential:
+    def test_jobs4_matches_jobs1_cold_cache(self, monkeypatch):
+        # Acceptance criterion: the *default 16-loop workbench*, cache
+        # cold, jobs=4 vs jobs=1, identical results loop for loop.
+        monkeypatch.delenv("REPRO_BENCH_LOOPS", raising=False)
+        workbench = bench_suite()
+        assert len(workbench) == 16
+        sequential = SuiteExecutor(jobs=1, cache=False)
+        parallel = SuiteExecutor(jobs=4, cache=False)
+        seq = sequential.run(MACHINE, workbench)
+        par = parallel.run(MACHINE, workbench)
+        # Loop-for-loop identity on every deterministic field.
+        assert fingerprints(seq) == fingerprints(par)
+        assert sequential.stats.scheduled == len(workbench)
+        assert parallel.stats.scheduled == len(workbench)
+
+    def test_parallel_baseline_scheduler(self):
+        machine = paper_configuration(2, None)
+        seq = SuiteExecutor(jobs=1, cache=False).run(machine, LOOPS, "baseline")
+        par = SuiteExecutor(jobs=3, cache=False).run(machine, LOOPS, "baseline")
+        assert fingerprints(seq) == fingerprints(par)
+
+    def test_schedule_suite_jobs_kwarg(self):
+        seq = schedule_suite(MACHINE, LOOPS, "mirsc", jobs=1)
+        par = schedule_suite(MACHINE, LOOPS, "mirsc", jobs=2)
+        assert fingerprints(seq.results) == fingerprints(par.results)
+
+    def test_unknown_scheduler_rejected_before_any_work(self):
+        with pytest.raises(ValueError):
+            SuiteExecutor(jobs=4, cache=False).run(MACHINE, LOOPS, "magic")
+
+
+class TestCache:
+    def test_warm_cache_skips_scheduler(self, tmp_path, monkeypatch):
+        cold = SuiteExecutor(cache=ResultCache(tmp_path))
+        first = cold.run(MACHINE, LOOPS)
+        assert cold.stats.scheduled == len(LOOPS)
+        assert cold.stats.cache_hits == 0
+
+        # Second run: the scheduler must not be invoked at all.
+        calls = []
+        original = MirsC.schedule
+
+        def counting(self, graph):
+            calls.append(graph.name)
+            return original(self, graph)
+
+        monkeypatch.setattr(MirsC, "schedule", counting)
+        warm = SuiteExecutor(cache=ResultCache(tmp_path))
+        second = warm.run(MACHINE, LOOPS)
+        assert calls == []
+        assert warm.stats.scheduled == 0
+        assert warm.stats.cache_hits == len(LOOPS)
+        assert fingerprints(first) == fingerprints(second)
+
+    def test_warm_cache_parallel_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        SuiteExecutor(jobs=2, cache=cache).run(MACHINE, LOOPS)
+        warm = SuiteExecutor(jobs=2, cache=cache)
+        warm.run(MACHINE, LOOPS)
+        assert warm.stats.scheduled == 0
+
+    def test_driver_second_run_zero_invocations(self, tmp_path, monkeypatch):
+        """Acceptance: a warm-cache rerun of a table driver schedules nothing."""
+        loops = cached_suite(2)
+        kwargs = dict(clusters=(1,), move_latencies=(1,))
+        first = table1_rows(
+            loops, executor=SuiteExecutor(cache=ResultCache(tmp_path)), **kwargs
+        )
+        monkeypatch.setattr(
+            MirsC,
+            "schedule",
+            lambda self, graph: pytest.fail("scheduler invoked on warm cache"),
+        )
+        warm = SuiteExecutor(cache=ResultCache(tmp_path))
+        second = table1_rows(loops, executor=warm, **kwargs)
+        assert warm.stats.scheduled == 0
+        assert first == second
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(LOOPS[0].graph, MACHINE, None, "mirsc")
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_put_get_roundtrip_and_maintenance(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = MirsC(MACHINE).schedule(LOOPS[0].graph.clone())
+        key = cache_key(LOOPS[0].graph, MACHINE, None, "mirsc")
+        cache.put(key, result)
+        assert key in cache
+        assert result_fingerprint(cache.get(key)) == result_fingerprint(result)
+        assert len(cache) == 1
+        assert cache.stats().total_bytes > 0
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestPickleDeterminism:
+    def test_pickle_roundtrip_schedules_identically(self):
+        """A graph shipped to a worker via pickle must schedule exactly
+        like the in-process original (pickling reorders the consumers
+        sets, which once swapped the spill-load insertion order)."""
+        import pickle
+
+        machine = paper_configuration(2, 32)
+        # The first six workbench loops include dense235, the loop whose
+        # invariant spills exposed the original nondeterminism.
+        for loop in bench_suite()[:6]:
+            copy = pickle.loads(pickle.dumps(loop.graph))
+            a = MirsC(machine, strict=False).schedule(loop.graph)
+            b = MirsC(machine, strict=False).schedule(copy)
+            assert result_fingerprint(a) == result_fingerprint(b), loop.graph.name
+
+
+class TestCacheKeys:
+    def test_key_stable_across_graph_copies(self):
+        graph = LOOPS[0].graph
+        assert cache_key(graph, MACHINE, None, "mirsc") == cache_key(
+            graph.clone(), MACHINE, MirsParams(), "mirsc"
+        )
+
+    def test_key_changes_with_machine(self):
+        graph = LOOPS[0].graph
+        base = cache_key(graph, MACHINE, None, "mirsc")
+        assert base != cache_key(graph, paper_configuration(4, 16), None, "mirsc")
+        assert base != cache_key(graph, MACHINE.with_registers(64), None, "mirsc")
+        assert base != cache_key(graph, MACHINE.with_move_latency(3), None, "mirsc")
+        assert base != cache_key(graph, MACHINE.with_buses(None), None, "mirsc")
+
+    def test_key_changes_with_params(self):
+        graph = LOOPS[0].graph
+        base = cache_key(graph, MACHINE, MirsParams(), "mirsc")
+        assert base != cache_key(
+            graph, MACHINE, MirsParams(budget_ratio=4), "mirsc"
+        )
+        assert base != cache_key(
+            graph, MACHINE, MirsParams(spill_gauge=3.0), "mirsc"
+        )
+
+    def test_key_changes_with_scheduler_and_graph(self):
+        graph = LOOPS[0].graph
+        base = cache_key(graph, MACHINE, None, "mirsc")
+        assert base != cache_key(graph, MACHINE, None, "baseline")
+        assert base != cache_key(LOOPS[1].graph, MACHINE, None, "mirsc")
+
+
+class TestResolvers:
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_jobs(None) == 1
+
+    def test_resolve_cache(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        assert resolve_cache(True) is not None
+        explicit = ResultCache(tmp_path)
+        assert resolve_cache(explicit) is explicit
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert resolve_cache(None).directory == tmp_path
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert resolve_cache(None) is None
+        assert resolve_cache(True) is None
+
+    def test_bench_loop_count_malformed_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_LOOPS", "many")
+        with pytest.warns(RuntimeWarning):
+            assert bench_loop_count(7) == 7
+        monkeypatch.setenv("REPRO_BENCH_LOOPS", "9")
+        assert bench_loop_count(7) == 9
+        monkeypatch.delenv("REPRO_BENCH_LOOPS")
+        assert bench_loop_count(7) == 7
+
+
+class TestProgressAndHistory:
+    def test_progress_callback_and_suite_summary(self, tmp_path):
+        seen = []
+        executor = SuiteExecutor(
+            cache=ResultCache(tmp_path),
+            progress=lambda done, total, name, hit: seen.append(
+                (done, total, hit)
+            ),
+        )
+        executor.run(MACHINE, LOOPS)
+        assert [s[0] for s in seen] == [1, 2, 3, 4]
+        assert all(not hit for _, _, hit in seen)
+        executor.run(MACHINE, LOOPS)
+        assert [hit for _, _, hit in seen[4:]] == [True] * 4
+
+        assert len(executor.history) == 2
+        summary = executor.history[1]
+        assert summary.cache_hits == 4
+        assert summary.scheduled == 0
+        assert summary.machine == MACHINE.name
+        assert summary.sum_ii == executor.history[0].sum_ii
+        payload = summary.as_dict()
+        assert payload["scheduler"] == "mirsc"
+        assert executor.stats.hit_rate == 0.5

@@ -1,7 +1,6 @@
 """Unit and property tests for the HRMS-style pre-ordering."""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro import LoopBuilder, find_recurrences, hrms_order
 from repro.order.hrms import ordering_property_violations

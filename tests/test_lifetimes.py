@@ -1,8 +1,6 @@
 """Unit tests for lifetime analysis, MaxLive and use segments."""
 
-import pytest
-
-from repro import LoopBuilder, parse_config
+from repro import LoopBuilder
 from repro.schedule.lifetimes import LifetimeAnalysis, UseSegment
 from repro.schedule.partial import PartialSchedule
 
@@ -58,7 +56,7 @@ class TestMaxLive:
     def test_unscheduled_consumers_ignored(self):
         b = LoopBuilder("part")
         x = b.load(array=0)
-        y = b.add(x)
+        b.add(x)  # consumer left unscheduled on purpose
         graph = b.build()
         schedule = _schedule(graph, UNIFIED, 4, {x.id: (0, 0)})
         analysis = LifetimeAnalysis(graph, schedule, UNIFIED)

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro import ConfigError, LoopBuilder, MirsC, TechnologyModel, parse_config
+from repro import ConfigError, LoopBuilder, MirsC, TechnologyModel
 from repro.machine.config import paper_configuration
 from repro.memsim.cache import CacheConfig, LockupFreeCache
 from repro.memsim.prefetch import (
-    PrefetchPolicy,
     apply_binding_prefetch,
     prefetched_load_ids,
 )

@@ -3,12 +3,10 @@
 import pytest
 
 from repro import (
-    LoopBuilder,
     MirsC,
     MirsParams,
     Mirs,
     SchedulingError,
-    parse_config,
     verify_schedule,
 )
 from repro.machine.config import paper_configuration, scalability_configuration

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import DepKind, LoopBuilder, OpKind
+from repro import LoopBuilder
 from repro.cluster.moves import MovePlan, add_invariant_move, add_move, next_needed_move
 from repro.core.params import MirsParams
 from repro.core.state import SchedulerState

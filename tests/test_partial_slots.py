@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import DepKind, LoopBuilder, SchedulingError, parse_config
+from repro import LoopBuilder, SchedulingError, parse_config
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.slots import (
     Direction,

@@ -1,7 +1,5 @@
 """Unit tests for wrap-around register allocation."""
 
-import pytest
-
 from repro import LoopBuilder
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.partial import PartialSchedule

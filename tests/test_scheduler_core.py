@@ -1,8 +1,6 @@
 """Unit tests for the scheduling step: forcing and ejection (Fig. 3)."""
 
-import pytest
-
-from repro import LoopBuilder, MirsParams, OpKind, parse_config
+from repro import LoopBuilder, MirsParams, parse_config
 from repro.core.scheduling import schedule_node
 from repro.core.state import SchedulerState
 

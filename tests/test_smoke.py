@@ -1,7 +1,5 @@
 """End-to-end smoke tests: the full pipeline on small hand-built loops."""
 
-import pytest
-
 from repro import (
     LoopBuilder,
     Mirs,

@@ -1,8 +1,6 @@
 """Unit tests for the Check_and_Insert_Spill heuristic."""
 
-import pytest
-
-from repro import DepKind, LoopBuilder, OpKind, parse_config
+from repro import DepKind, LoopBuilder, parse_config
 from repro.core.params import MirsParams
 from repro.core.state import SchedulerState
 from repro.schedule.lifetimes import LifetimeAnalysis

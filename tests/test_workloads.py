@@ -1,11 +1,8 @@
 """Unit tests for the synthetic workload generator, suite and unrolling."""
 
-import pytest
-
 from repro import DepKind, OpKind, compute_mii
 from repro.graph.recurrences import find_recurrences
 from repro.workloads.perfect import (
-    SUITE_SIZE,
     build_loop,
     perfect_club_suite,
     suite_statistics,
@@ -71,7 +68,7 @@ class TestUnroll:
         # the 4 replicas with total distance 1: RecMII scales down by 4
         # in the II-per-unrolled-iteration sense (4 adds per circuit, so
         # the bound stays ceil(4*4/... ) - check via compute_mii ratio.
-        original_recmii = compute_mii(graph, UNIFIED)
+        assert compute_mii(unrolled, UNIFIED) == 4 * compute_mii(graph, UNIFIED)
         recurrences = find_recurrences(unrolled, UNIFIED)
         assert recurrences, "recurrence must survive unrolling"
         # The unrolled circuit covers all 4 replicas of the add.
