@@ -1,0 +1,42 @@
+"""Simulator benchmark: execute generated code, measured vs analytic.
+
+Runs every workbench loop of the subset through the full pipeline —
+schedule, emit, *execute* on the cycle-accurate simulator of
+``repro.sim`` — and regenerates the measured-vs-analytic table: observed
+useful/stall cycles against the ``repro.memsim`` prediction, plus the
+bit-for-bit differential verdict against the scalar reference
+interpreter.  Every row must come out 'ok': useful cycles follow
+``II * (N + SC - 1)`` exactly and the end state matches the reference.
+"""
+
+from conftest import loops_for
+
+from repro.eval.experiments import simulator_rows
+from repro.eval.reporting import render_table
+from repro.workloads.perfect import cached_suite
+
+ITERATIONS = 50
+
+
+def test_simulator(benchmark, table_sink, executor):
+    loops = cached_suite(loops_for(16))
+    headers, rows, note = benchmark.pedantic(
+        simulator_rows,
+        args=(loops,),
+        kwargs={"iterations": ITERATIONS, "executor": executor},
+        rounds=1,
+        iterations=1,
+    )
+    text = render_table(
+        f"Simulator: measured vs analytic cycles ({len(loops)} loops, "
+        f"{ITERATIONS} iterations)",
+        headers,
+        rows,
+        note,
+    )
+    table_sink("simulator", text)
+
+    assert rows, "the simulator table must not be empty"
+    for row in rows:
+        *_, verdict = row
+        assert verdict == "ok", f"differential mismatch in row {row}"

@@ -11,17 +11,21 @@ a small workbench sample: k in {1, 2, 4} x registers/cluster in
 Run with::
 
     python examples/design_space.py [num_loops]
+
+(``REPRO_BENCH_LOOPS`` overrides the default subset size, as in the
+benchmarks - the CI examples smoke job uses it to stay quick.)
 """
 
 import sys
 
 from repro import MirsC, TechnologyModel, paper_configuration
 from repro.eval.reporting import render_table
+from repro.eval.runner import bench_loop_count
 from repro.workloads.perfect import cached_suite
 
 
 def main() -> None:
-    count = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else bench_loop_count(8)
     loops = cached_suite(count)
     technology = TechnologyModel()
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Execute generated VLIW code and watch the pipeline actually run.
+
+Schedules a kernel, emits the software pipeline (prologue / MVE-unrolled
+kernel / epilogue), then *executes* it on the cycle-accurate simulator of
+``repro.sim``: per-cluster register files, a lockup-free cache producing
+observed stall cycles, and a bit-for-bit differential check against the
+scalar reference interpretation of the dependence graph.
+
+Run with::
+
+    python examples/simulate_pipeline.py
+"""
+
+from repro import LoopBuilder, MirsC, parse_config
+from repro.eval.reporting import render_table
+from repro.memsim.stall import MemoryModel
+from repro.sim import run_differential
+
+ITERATIONS = 200
+
+
+def build_kernel():
+    b = LoopBuilder("saxpy2", trip_count=256)
+    x = b.load(array=0)
+    y = b.load(array=1)
+    a = b.invariant("a")
+    t = b.mul(x, a)
+    s = b.add(t, y)
+    b.store(s, array=2)
+    return b.build()
+
+
+def main() -> None:
+    graph = build_kernel()
+    rows = []
+    memory = MemoryModel()
+    for config in ("1-(GP8M4-REG64)", "2-(GP4M2-REG32)", "4-(GP2M1-REG16)"):
+        machine = parse_config(config)
+        result = MirsC(machine).schedule(graph.clone())
+        report = run_differential(result, ITERATIONS)
+        sim = report.simulation
+        analytic = memory.evaluate(result, iterations=sim.iterations)
+        rows.append(
+            [
+                machine.name,
+                sim.ii,
+                f"{sim.stage_count}/{sim.mve_factor}",
+                sim.useful_cycles,
+                sim.stall_cycles,
+                round(analytic.stall_cycles),
+                round(sim.ipc, 2),
+                round(sim.bus_occupancy, 2),
+                "MATCH" if report.match else "MISMATCH",
+            ]
+        )
+    print(
+        render_table(
+            f"Executing saxpy2 for {ITERATIONS} iterations",
+            [
+                "config", "II", "SC/MVE", "useful", "stall (sim)",
+                "stall (model)", "IPC", "bus occ", "vs reference",
+            ],
+            rows,
+            "useful cycles = II*(N+SC-1) by construction; the simulator "
+            "observes stalls the analytic model only predicts.",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

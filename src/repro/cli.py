@@ -5,6 +5,10 @@ Commands:
 * ``schedule`` - schedule one workbench loop (or a built-in demo kernel)
   on a named configuration and print the kernel (optionally the full
   generated code);
+* ``simulate`` - schedule a loop, *execute* its generated code on the
+  cycle-accurate simulator (:mod:`repro.sim`), check it bit-for-bit
+  against the scalar reference interpreter, and compare the measured
+  useful/stall cycles with the analytic :mod:`repro.memsim` prediction;
 * ``compare``  - run MIRS-C and the non-iterative baseline [31] over a
   workbench subset on one configuration and print the comparison;
 * ``suite``    - print structural statistics of the synthetic workbench;
@@ -19,6 +23,7 @@ is given.
 Examples::
 
     python -m repro schedule --config "4-(GP2M1-REG16)" --loop 31 --code
+    python -m repro simulate --config "4-(GP2M1-REG16)" --loop 12 --iterations 100
     python -m repro compare --config "2-(GP4M2-REG32)" --loops 12 --jobs 4
     python -m repro technology
     python -m repro cache --clear
@@ -40,7 +45,61 @@ from repro.eval.pretty import format_kernel
 from repro.eval.reporting import render_table
 from repro.eval.runner import schedule_suite
 from repro.exec import ResultCache, SuiteExecutor
-from repro.workloads.perfect import build_loop, cached_suite, suite_statistics
+from repro.memsim.stall import MemoryModel
+from repro.sim import run_differential
+from repro.workloads.perfect import (
+    SUITE_SIZE,
+    build_loop,
+    cached_suite,
+    suite_statistics,
+)
+
+
+def workbench_index(text: str) -> int:
+    """Argparse type for ``--loop``: a valid workbench loop index."""
+    try:
+        index = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid loop index {text!r} (expected an integer)"
+        ) from None
+    if not 0 <= index < SUITE_SIZE:
+        raise argparse.ArgumentTypeError(
+            f"loop index {index} is out of range; the workbench has "
+            f"{SUITE_SIZE} loops (valid indices: 0..{SUITE_SIZE - 1})"
+        )
+    return index
+
+
+def workbench_count(text: str) -> int:
+    """Argparse type for ``--loops``: a valid workbench subset size."""
+    try:
+        count = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid loop count {text!r} (expected an integer)"
+        ) from None
+    if not 1 <= count <= SUITE_SIZE:
+        raise argparse.ArgumentTypeError(
+            f"loop count {count} is out of range; pick between 1 and "
+            f"{SUITE_SIZE} workbench loops"
+        )
+    return count
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for counts that must be at least 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid count {text!r} (expected an integer)"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"count must be at least 1, got {value}"
+        )
+    return value
 
 
 def _demo_graph():
@@ -68,6 +127,54 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print()
         print(generate_code(result).render())
     return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    machine = parse_config(
+        args.config, move_latency=args.move_latency, buses=args.buses
+    )
+    if args.loop is None:
+        graph = _demo_graph()
+    else:
+        graph = build_loop(args.loop).graph
+    result = MirsC(machine).schedule(graph)
+    # None: the environment decides (REPRO_CACHE_DIR opts in, as for
+    # plain library calls elsewhere).
+    report = run_differential(result, args.iterations, cache=None)
+    sim = report.simulation
+
+    analytic = MemoryModel().evaluate(result, iterations=sim.iterations)
+    useful_ok = sim.useful_cycles == round(analytic.useful_cycles)
+    rows = [
+        ["iterations (requested -> run)",
+         f"{sim.requested_iterations} -> {sim.iterations}"],
+        ["II / stages / MVE", f"{sim.ii} / {sim.stage_count} / {sim.mve_factor}"],
+        ["useful cycles (measured)", sim.useful_cycles],
+        ["useful cycles (analytic)", round(analytic.useful_cycles)],
+        ["stall cycles (measured)", sim.stall_cycles],
+        ["stall cycles (analytic)", round(analytic.stall_cycles, 1)],
+        ["instructions / IPC", f"{sim.instructions} / {sim.ipc:.2f}"],
+        ["cache hits / misses", f"{sim.cache_hits} / {sim.cache_misses}"],
+        ["bus occupancy (moves/cycle)", round(sim.bus_occupancy, 3)],
+    ]
+    note = (
+        f"reference interpreter: {'MATCH' if report.match else 'MISMATCH'}; "
+        f"analytic useful cycles: "
+        f"{'match' if useful_ok else 'MISMATCH'}"
+    )
+    print(
+        render_table(
+            f"Simulated {result.loop} on {machine.name} "
+            f"(II={result.ii}, MII={result.mii})",
+            ["metric", "value"],
+            rows,
+            note,
+        )
+    )
+    if not report.match:
+        print()
+        print(report.summary())
+    return 0 if report.match and useful_ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -161,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(schedule)
     schedule.add_argument(
         "--loop",
-        type=int,
+        type=workbench_index,
         default=None,
         help="workbench loop index (omit for the built-in DAXPY demo)",
     )
@@ -170,9 +277,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schedule.set_defaults(func=_cmd_schedule)
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="execute a loop's generated code on the cycle simulator",
+    )
+    common(simulate)
+    simulate.add_argument(
+        "--loop",
+        type=workbench_index,
+        default=None,
+        help="workbench loop index (omit for the built-in DAXPY demo)",
+    )
+    simulate.add_argument(
+        "--iterations",
+        type=positive_int,
+        default=100,
+        help="loop iterations to execute (rounded up to whole kernel passes)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
     compare = sub.add_parser("compare", help="MIRS-C vs the baseline [31]")
     common(compare)
-    compare.add_argument("--loops", type=int, default=8)
+    compare.add_argument("--loops", type=workbench_count, default=8)
     compare.add_argument(
         "--jobs",
         type=int,

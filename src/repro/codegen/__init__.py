@@ -1,4 +1,11 @@
-"""VLIW code generation from modulo schedules (paper step 7)."""
+"""VLIW code generation from modulo schedules (paper step 7).
+
+The emitted prologue/kernel/epilogue is executable: :mod:`repro.sim`
+runs it cycle by cycle against simulated register files and the
+lockup-free cache of :mod:`repro.memsim`, and validates the end state
+bit-for-bit against a scalar reference interpretation of the loop
+(``python -m repro simulate``).
+"""
 
 from repro.codegen.emitter import (
     GeneratedCode,

@@ -11,7 +11,16 @@ tests pin down.
 
 Registers are assigned with the wrap-around allocator of
 :mod:`repro.schedule.regalloc`; expanded values get one architectural
-register per kernel copy (``r7.k1`` denotes copy 1's instance).
+register per kernel copy (``r7.k1`` denotes copy 1's instance).  Copy
+labels follow one global convention: iteration ``j`` owns copy
+``j % K`` in the prologue, the kernel and the epilogue alike, so a
+value produced during the pipeline fill is read from the right renamed
+register once the steady state takes over.
+
+The emitted code is *executable*: :mod:`repro.sim` runs it bundle by
+bundle on simulated register files and a lockup-free cache
+(:mod:`repro.memsim`), and checks the final state against a scalar
+reference interpretation of the dependence graph.
 """
 
 from __future__ import annotations
@@ -69,6 +78,10 @@ class GeneratedCode:
     prologue: list[list[Instruction]]
     kernel: list[list[Instruction]]
     epilogue: list[list[Instruction]]
+    #: value id -> register name per kernel copy (the map the
+    #: instructions were rendered from; the simulator initialises the
+    #: live-in registers of loop-carried values through it).
+    registers: dict[int, list[str]] = dataclasses.field(default_factory=dict)
 
     @property
     def kernel_cycles(self) -> int:
@@ -98,8 +111,21 @@ class GeneratedCode:
         return "\n".join(lines)
 
 
-def _register_names(result: ScheduleResult, mve: int) -> dict[int, list[str]]:
-    """value id -> register name per kernel copy."""
+def _register_names(
+    result: ScheduleResult, mve: int
+) -> tuple[dict[int, list[str]], dict[int, int]]:
+    """value id -> register name per kernel copy, plus per-cluster usage.
+
+    Values consumed at an iteration distance >= 1 are *live-in exposed*:
+    during the pipeline fill their consumers read the register before
+    the value's first definition ever writes it, so the register must
+    hold the live-in from loop entry.  The wrap-around allocator colours
+    only steady-state arcs and may share such a register with another
+    value whose writes would clobber the live-in, so exposed values that
+    are not modulo-expanded get a dedicated register here instead (the
+    small overshoot past the allocator's count mirrors the preheader
+    live-in setup the paper's register model does not charge for).
+    """
     graph = result.graph
     machine = result.machine
     schedule = PartialSchedule(machine, result.ii)
@@ -113,11 +139,25 @@ def _register_names(result: ScheduleResult, mve: int) -> dict[int, list[str]]:
     analysis = LifetimeAnalysis(graph, schedule, machine)
     allocations = allocate_registers(graph, schedule, machine, analysis)
     lifetime_of = {lt.value: lt for lt in analysis.lifetimes}
+    exposed = {
+        edge.src
+        for edge in graph.edges()
+        if edge.kind is DepKind.REG and edge.distance >= 1
+    }
 
     names: dict[int, list[str]] = {}
+    usage: dict[int, int] = {}
     for cluster, allocation in allocations.items():
-        for value, registers in allocation.assignment.items():
-            base = registers[-1] if registers else 0
+        next_dedicated = allocation.registers_used
+        for value, registers in sorted(allocation.assignment.items()):
+            # Base register for the name: the first assigned register is
+            # a dedicated (per-value unique) one whenever the lifetime
+            # spans a full II, and the shared arc colour only for short
+            # lifetimes.  Expanded values must never base their ``.k``
+            # copies on the shared arc register: two expanded values may
+            # legitimately share an arc colour, but their renamed copies
+            # would then collide name-for-name.
+            base = registers[0] if registers else 0
             lifetime = lifetime_of.get(value)
             expanded = (
                 lifetime is not None and lifetime.length > result.ii and mve > 1
@@ -126,9 +166,16 @@ def _register_names(result: ScheduleResult, mve: int) -> dict[int, list[str]]:
                 names[value] = [
                     f"c{cluster}:r{base}.k{copy}" for copy in range(mve)
                 ]
+            elif value in exposed:
+                names[value] = [f"c{cluster}:r{next_dedicated}"] * mve
+                next_dedicated += 1
             else:
                 names[value] = [f"c{cluster}:r{base}"] * mve
-    return names
+        # Feasibility is judged on the allocator's own count: the
+        # live-in dedication above is preheader territory and is not
+        # charged against the register file.
+        usage[cluster] = allocation.registers_used
+    return names, usage
 
 
 def _instruction(
@@ -166,12 +213,46 @@ def _instruction(
 
 
 def generate_code(result: ScheduleResult) -> GeneratedCode:
-    """Emit prologue / kernel / epilogue for a converged schedule."""
+    """Emit prologue / kernel / epilogue for a converged schedule.
+
+    Feasibility is judged on the register allocator's own count.  Note
+    that values carried into the loop additionally receive *dedicated*
+    registers numbered past that count (see :func:`_register_names`):
+    like the preheader that would initialise them, those few registers
+    are a code-generation concession the paper's register model does
+    not charge for, so emitted names may exceed the architectural file
+    by the number of live-in values even when the check passes.
+
+    Raises:
+        ValueError: when the schedule did not converge, or when its
+            register allocation does not fit the machine's register
+            files (emitting code for an infeasible schedule would
+            silently produce wrong register names).
+    """
     if not result.converged or result.graph is None:
-        raise ValueError("code generation needs a converged schedule")
+        raise ValueError(
+            f"code generation needs a converged schedule; "
+            f"loop {result.loop!r} did not converge"
+        )
     ii = result.ii
     mve = modulo_variable_expansion_factor(result)
-    registers = _register_names(result, mve)
+    registers, register_usage = _register_names(result, mve)
+    available = result.machine.cluster.registers
+    if available is not None:
+        over = {
+            cluster: used
+            for cluster, used in sorted(register_usage.items())
+            if used > available
+        }
+        if over:
+            detail = ", ".join(
+                f"cluster {c} needs {used}" for c, used in over.items()
+            )
+            raise ValueError(
+                f"schedule for loop {result.loop!r} is register-infeasible "
+                f"on {result.machine.name} ({detail}, {available} available); "
+                "refusing to emit code with clobbered registers"
+            )
 
     low = min(result.times.values(), default=0)
     by_slot: dict[tuple[int, int], list[int]] = {}
@@ -205,23 +286,29 @@ def generate_code(result: ScheduleResult) -> GeneratedCode:
 
     # Kernel: `mve` renamed copies of the II-cycle steady state; copy c
     # executes stage s on behalf of the iteration started (SC-1-s)
-    # kernel-iterations ago.
+    # kernel-iterations ago.  Kernel block c sits at global cycle block
+    # (SC-1) + c (+ a multiple of mve per pass), so the iteration
+    # executing stage s there is j = (SC-1) + c - s and its copy label
+    # must be j % mve: without the SC-1 shift the kernel reads renamed
+    # registers the prologue never wrote whenever (SC-1) % mve != 0.
     kernel: list[list[Instruction]] = []
     for copy in range(mve):
         for row in range(ii):
             stages = [
-                (stage, (copy - stage) % mve)
+                (stage, (copy - stage + stage_count - 1) % mve)
                 for stage in range(stage_count)
             ]
             kernel.append(bundle(row, stages))
 
-    # Epilogue: drain stages 1..SC-1 of the last SC-1 iterations.
+    # Epilogue: drain stages 1..SC-1 of the last SC-1 iterations.  The
+    # kernel always retires in whole mve-block passes, so the same
+    # SC-1 shift keeps iteration j on copy j % mve here too.
     epilogue: list[list[Instruction]] = []
     for cycle in range(ii * (stage_count - 1)):
         row = cycle % ii
         phase = cycle // ii
         stages = [
-            (stage, (phase - stage) % mve)
+            (stage, (phase - stage + stage_count - 1) % mve)
             for stage in range(phase + 1, stage_count)
         ]
         epilogue.append(bundle(row, stages))
@@ -234,4 +321,5 @@ def generate_code(result: ScheduleResult) -> GeneratedCode:
         prologue=prologue,
         kernel=kernel,
         epilogue=epilogue,
+        registers=registers,
     )

@@ -40,3 +40,9 @@ class ConvergenceError(SchedulingError):
 
 class AllocationError(ReproError):
     """Register allocation could not complete with the given register file."""
+
+
+class SimulationError(ReproError):
+    """The execution simulator hit malformed code (an instruction read a
+    register no instruction ever defines, a bundle fell outside the
+    pipeline structure...): emitted code and schedule disagree."""

@@ -25,7 +25,12 @@ from repro.exec.engine import (
     make_engine,
     resolve_jobs,
 )
-from repro.exec.hashing import cache_key, result_fingerprint, stable_hash
+from repro.exec.hashing import (
+    cache_key,
+    result_fingerprint,
+    simulation_cache_key,
+    stable_hash,
+)
 
 __all__ = [
     "ExecStats",
@@ -38,5 +43,6 @@ __all__ = [
     "resolve_cache",
     "resolve_jobs",
     "result_fingerprint",
+    "simulation_cache_key",
     "stable_hash",
 ]

@@ -27,8 +27,6 @@ import pathlib
 import pickle
 import tempfile
 
-from repro.core.result import ScheduleResult
-
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 NO_CACHE_ENV = "REPRO_NO_CACHE"
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -51,7 +49,12 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed store of :class:`ScheduleResult` pickles."""
+    """Content-addressed store of result pickles.
+
+    Holds :class:`ScheduleResult` objects for the scheduling layer and
+    the simulation layer's ``SimulationResult`` / ``DifferentialReport``
+    records (:mod:`repro.sim`); callers type-check what they load.
+    """
 
     def __init__(self, directory: str | os.PathLike | None = None):
         self.directory = pathlib.Path(directory) if directory else default_cache_dir()
@@ -63,7 +66,7 @@ class ResultCache:
     # Store / load
     # ------------------------------------------------------------------
 
-    def get(self, key: str) -> ScheduleResult | None:
+    def get(self, key: str) -> object | None:
         """The cached result, or ``None`` on a miss.
 
         A corrupt or truncated entry (killed writer, disk trouble) is
@@ -82,7 +85,7 @@ class ResultCache:
                 pass
             return None
 
-    def put(self, key: str, result: ScheduleResult) -> None:
+    def put(self, key: str, result: object) -> None:
         """Store a result atomically (tmp file + rename)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -125,6 +125,39 @@ def cache_key(
     )
 
 
+def simulation_cache_key(
+    result: ScheduleResult,
+    iterations: int,
+    cache_config=None,
+    technology=None,
+) -> str:
+    """Content-addressed key of one simulation problem.
+
+    A :class:`repro.sim.result.SimulationResult` is fully determined by
+    the schedule being executed (its fingerprint covers graph, times,
+    clusters and machine), the requested trip count and the memory
+    system, so those — plus the usual code digest — form the key.  The
+    cache configuration and technology model are dataclasses; their
+    field dicts are canonical enough once sorted by
+    :func:`stable_hash`'s ``sort_keys``.
+    """
+    return stable_hash(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "code": code_digest(),
+            "kind": "simulation",
+            "schedule": result_fingerprint(result),
+            "iterations": iterations,
+            "cache_config": (
+                None if cache_config is None else dataclasses.asdict(cache_config)
+            ),
+            "technology": (
+                None if technology is None else dataclasses.asdict(technology)
+            ),
+        }
+    )
+
+
 def result_fingerprint(result: ScheduleResult) -> str:
     """Digest of every deterministic field of a schedule result.
 

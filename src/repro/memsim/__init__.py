@@ -5,6 +5,13 @@ cache with 32-byte lines and up to 8 pending misses, hit latencies of
 2 (read) / 1 (write) cycles and a 25 ns miss latency converted to cycles
 per configuration - plus the *selective binding prefetching* policy of
 Sánchez & González [30] used to tolerate misses.
+
+:class:`MemoryModel` predicts stall cycles *analytically* from miss
+rates and latency tolerance; the execution simulator of
+:mod:`repro.sim` drives the same :class:`LockupFreeCache` bundle by
+bundle while running generated code (:mod:`repro.codegen`), so stalls
+are also *observed* and the two can be compared per loop
+(``repro.eval.experiments.simulator_rows``).
 """
 
 from repro.memsim.cache import CacheConfig, LockupFreeCache

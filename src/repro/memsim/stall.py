@@ -61,10 +61,19 @@ class MemoryModel:
 
     # ------------------------------------------------------------------
 
-    def evaluate(self, result: ScheduleResult) -> StallReport:
-        """Useful/stall breakdown of one converged schedule."""
+    def evaluate(
+        self, result: ScheduleResult, iterations: int | None = None
+    ) -> StallReport:
+        """Useful/stall breakdown of one converged schedule.
+
+        ``iterations`` overrides the loop's trip count — used by the
+        measured-vs-analytic comparison against :mod:`repro.sim`, whose
+        execution simulator runs a configurable number of iterations and
+        *observes* the stalls this model predicts.
+        """
         if not result.converged or result.graph is None:
             raise ValueError("stall model needs a converged schedule")
+        trip_count = result.trip_count if iterations is None else iterations
         graph = result.graph
         machine = result.machine
         miss_latency = self.technology.miss_latency_cycles(machine)
@@ -96,8 +105,9 @@ class MemoryModel:
         overlap = max(1, min(self.cache_config.mshrs, missing_loads))
         stall_per_iteration /= overlap
 
-        useful = float(result.execution_cycles)
-        stall = stall_per_iteration * result.trip_count
+        overlap_stages = max(0, result.stage_count - 1)
+        useful = float(result.ii * (trip_count + overlap_stages))
+        stall = stall_per_iteration * trip_count
         miss_rate = weighted_misses / loads if loads else 0.0
         return StallReport(
             loop=result.loop,

@@ -1,0 +1,144 @@
+"""Differential validation: emitted code vs scalar reference execution.
+
+The strongest correctness statement this repository can make about a
+schedule is end-to-end: run the *generated code* on the simulated
+machine, run the *dependence graph* on the scalar reference interpreter,
+and require bit-for-bit agreement on
+
+1. every value produced by every (operation, iteration) instance, and
+2. the final memory image (every address written, and what it holds).
+
+Scheduler, cluster assignment, spilling, register allocation, modulo
+variable expansion and the emitter all sit between the two executions,
+so a bug in any of them surfaces as a concrete mismatch naming the
+operation and iteration where the dataflow first diverged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.result import ScheduleResult
+from repro.exec.cache import ResultCache, resolve_cache
+from repro.exec.hashing import simulation_cache_key, stable_hash
+from repro.machine.technology import TechnologyModel
+from repro.memsim.cache import CacheConfig
+from repro.sim.reference import ReferenceInterpreter, live_in_moduli_of_code
+from repro.sim.result import SimulationResult
+from repro.sim.vliw import VliwSimulator
+
+#: Mismatches reported per category before truncating (a broken emitter
+#: diverges everywhere; the first few sites are the diagnostic ones).
+MAX_REPORTED = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class DifferentialReport:
+    """Outcome of one simulator-vs-reference comparison."""
+
+    loop: str
+    machine: str
+    iterations: int
+    match: bool
+    mismatches: tuple[str, ...]
+    simulation: SimulationResult
+
+    def summary(self) -> str:
+        verdict = "MATCH" if self.match else "MISMATCH"
+        head = (
+            f"{self.loop} on {self.machine}: {verdict} over "
+            f"{self.iterations} iterations"
+        )
+        if self.match:
+            return head
+        return head + "\n  " + "\n  ".join(self.mismatches)
+
+
+def run_differential(
+    schedule: ScheduleResult,
+    iterations: int,
+    cache_config: CacheConfig | None = None,
+    technology: TechnologyModel | None = None,
+    cache: ResultCache | bool | None = None,
+) -> DifferentialReport:
+    """Execute both sides and compare their end states.
+
+    The reference interpreter is run for the simulator's *effective*
+    trip count (the emitted kernel retires iterations in whole unrolled
+    passes, so the simulator may execute a few more than requested).
+
+    ``cache`` memoizes the finished report in the on-disk result cache
+    (see :func:`repro.exec.cache.resolve_cache` for the selector
+    semantics): both executions are deterministic, so a warm benchmark
+    or CI rerun skips them entirely.
+    """
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        key = stable_hash(
+            {
+                "kind": "differential",
+                "base": simulation_cache_key(
+                    schedule, iterations, cache_config, technology
+                ),
+            }
+        )
+        cached = store.get(key)
+        if isinstance(cached, DifferentialReport):
+            return cached
+    simulator = VliwSimulator(
+        schedule, cache_config=cache_config, technology=technology
+    )
+    run = simulator.run(iterations)
+    reference = ReferenceInterpreter(
+        schedule.graph,
+        live_in_moduli=live_in_moduli_of_code(simulator.code),
+    ).run(run.result.iterations)
+
+    mismatches: list[str] = []
+    truncated = 0
+
+    node_names = {node.id: node.name for node in schedule.graph.nodes()}
+    for instance in sorted(set(run.values) | set(reference.values)):
+        simulated = run.values.get(instance)
+        expected = reference.values.get(instance)
+        if simulated == expected:
+            continue
+        if len(mismatches) < MAX_REPORTED:
+            node_id, iteration = instance
+            mismatches.append(
+                f"value of {node_names.get(node_id, node_id)} @ iteration "
+                f"{iteration}: code={simulated} reference={expected}"
+            )
+        else:
+            truncated += 1
+
+    memory_reported = 0
+    for address in sorted(set(run.memory) | set(reference.memory)):
+        simulated = run.memory.get(address)
+        expected = reference.memory.get(address)
+        if simulated == expected:
+            continue
+        if memory_reported < MAX_REPORTED:
+            mismatches.append(
+                f"memory[{address:#x}]: code={simulated} "
+                f"reference={expected}"
+            )
+            memory_reported += 1
+        else:
+            truncated += 1
+
+    if truncated:
+        mismatches.append(f"... and {truncated} further mismatches")
+
+    report = DifferentialReport(
+        loop=schedule.loop,
+        machine=schedule.machine.name,
+        iterations=run.result.iterations,
+        match=not mismatches,
+        mismatches=tuple(mismatches),
+        simulation=run.result,
+    )
+    if store is not None and key is not None:
+        store.put(key, report)
+    return report

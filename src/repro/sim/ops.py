@@ -1,0 +1,119 @@
+"""Shared value semantics of the functional simulation.
+
+The differential validation of :mod:`repro.sim` needs *two* independent
+executions of one loop — the scalar reference interpretation of the
+dependence graph and the bundle-by-bundle run of the emitted VLIW code —
+to agree **bit for bit**.  Floating point is a poor carrier for that
+(operand association differs between the two sides), so every operation
+is given an exact integer semantics over the field GF(P) with
+``P = 2**61 - 1``:
+
+* ``add`` is a salted modular sum, ``mul`` a salted modular product;
+* ``div``/``sqrt``/multi-operand ``load``/``store`` fold their operands
+  through a salted polynomial hash — deterministic, collision-poor and
+  cheap;
+* operand *order* is erased by sorting operand values first: the
+  dependence graph gives operations a multiset of operands, not a
+  sequence, and the emitter stores sources as a sorted tuple.
+
+Live-in values (loop-carried dependences reaching before iteration 0),
+loop invariants and untouched memory are likewise pure functions of
+their identity, so both executions can materialize them independently
+and still agree.  Nothing here aims at numeric realism — only at making
+every dataflow mistake (wrong register copy, clobbered register, wrong
+spill slot, reordered aliasing store) visible as a value mismatch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.machine.resources import OpKind
+
+#: The Mersenne prime 2^61 - 1: products never collapse to zero and the
+#: arithmetic stays within native machine words on 64-bit CPythons.
+FIELD_PRIME = (1 << 61) - 1
+
+_FOLD_MULTIPLIER = 1_099_511_628_211  # FNV-64 prime, coprime to FIELD_PRIME
+
+#: Per-role salts keep structurally different computations from
+#: colliding (e.g. ``add(x)`` vs ``move(x)`` vs ``x`` itself).
+_SALTS = {
+    OpKind.ADD: 0x1DA3_E1A9,
+    OpKind.MUL: 0x2B7E_1516,
+    OpKind.DIV: 0x3C6E_F372,
+    OpKind.SQRT: 0x4D2C_6DFC,
+    OpKind.LOAD: 0x5BE0_CD19,
+    OpKind.STORE: 0x6A09_E667,
+    OpKind.MOVE: 0x7C15_9D3B,
+}
+_LIVE_IN_SALT = 0x8F1B_BCDC
+_INVARIANT_SALT = 0x9B05_688C
+_MEMORY_SALT = 0xA54F_F53A
+
+
+def fold(salt: int, values: Iterable[int]) -> int:
+    """Salted polynomial hash of a value sequence over GF(P)."""
+    h = salt % FIELD_PRIME
+    for value in values:
+        h = (h * _FOLD_MULTIPLIER + value + 1) % FIELD_PRIME
+    return h
+
+
+def evaluate(kind: OpKind, operands: list[int]) -> int:
+    """The value produced by an operation from its operand values.
+
+    ``operands`` is treated as a multiset (sorted internally); stores
+    "produce" the value they write to memory.  Plain loads do not go
+    through here — their value is the memory word — but loads with
+    register operands combine them via :func:`load_value`.
+    """
+    values = sorted(operands)
+    salt = _SALTS[kind]
+    if kind is OpKind.MOVE and values:
+        return values[0] % FIELD_PRIME
+    if kind is OpKind.ADD:
+        return (salt + sum(values)) % FIELD_PRIME
+    if kind is OpKind.MUL:
+        product = salt
+        for value in values:
+            product = (product * (value % FIELD_PRIME + 1)) % FIELD_PRIME
+        return product
+    if kind is OpKind.STORE and len(values) == 1:
+        # The common single-operand store writes the operand verbatim,
+        # which keeps memory dumps legible when debugging mismatches.
+        return values[0] % FIELD_PRIME
+    return fold(salt, values)
+
+
+def load_value(memory_word: int, operands: list[int]) -> int:
+    """The register value produced by a load.
+
+    A plain load yields the memory word unchanged; the rare load with
+    register operands (possible in hand-built and property-test graphs)
+    folds them in so the operands still influence the result.
+    """
+    if not operands:
+        return memory_word % FIELD_PRIME
+    return fold(_SALTS[OpKind.LOAD], sorted(operands) + [memory_word])
+
+
+def initial_value(node_id: int, iteration: int) -> int:
+    """Live-in value of a loop-carried dependence.
+
+    A consumer at iteration ``i`` reading distance ``d`` needs the
+    producer's instance of iteration ``i - d``; for ``i - d < 0`` that
+    instance predates the loop and is defined as a pure function of
+    (producer, iteration) so both executions agree on it.
+    """
+    return fold(_LIVE_IN_SALT, [node_id, iteration & 0xFFFF_FFFF])
+
+
+def invariant_value(invariant_id: int) -> int:
+    """The (arbitrary but fixed) value of a loop invariant."""
+    return fold(_INVARIANT_SALT, [invariant_id])
+
+
+def initial_memory(address: int) -> int:
+    """Contents of a memory word never written by the loop."""
+    return fold(_MEMORY_SALT, [address])

@@ -1,0 +1,110 @@
+"""Measured outcome of one simulated loop execution.
+
+:class:`SimulationResult` is the compact, picklable record the rest of
+the stack consumes: the exec layer memoizes it on disk (keyed by
+:func:`repro.exec.hashing.simulation_cache_key`), the CLI prints it,
+``eval/experiments`` compares it against the analytic stall prediction
+of :mod:`repro.memsim`, and ``benchmarks/bench_simulator.py`` feeds it
+into ``BENCH_suite.json``.  Bulky per-instance state (register values,
+memory words) stays out; :attr:`SimulationResult.state_digest` carries a
+stable hash of it so two runs can still be compared for bit equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+
+def state_digest(
+    values: dict[tuple[int, int], int], memory: dict[int, int]
+) -> str:
+    """Stable digest of an execution's end state.
+
+    Covers every (node, iteration) value and every written memory word;
+    two executions agree on the digest iff they agree on the state.
+    """
+    payload = {
+        "values": sorted((n, i, v) for (n, i), v in values.items()),
+        "memory": sorted(memory.items()),
+    }
+    text = json.dumps(payload, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Measured cycles and traffic of one simulated execution.
+
+    Attributes:
+        loop: the loop's name.
+        machine: the target configuration's name.
+        ii / stage_count / mve_factor: shape of the executed pipeline.
+        requested_iterations: the trip count asked for.
+        iterations: the trip count actually executed — rounded up to a
+            whole number of unrolled kernel passes (the emitted kernel
+            can only retire ``mve_factor`` iterations at a time).
+        useful_cycles: issued bundles; equals
+            ``II * (iterations + stage_count - 1)`` by construction.
+        stall_cycles: observed cycles the in-order pipeline was blocked
+            on cache misses (consumer before data, or MSHRs exhausted).
+        instructions: operation instances issued (nops excluded).
+        loads / stores / moves: per-class instance counts.
+        cache_hits / cache_misses: lockup-free cache accesses.
+        state_digest: digest of the (node, iteration) values and final
+            memory, for bit-for-bit comparison with the reference run.
+    """
+
+    loop: str
+    machine: str
+    ii: int
+    stage_count: int
+    mve_factor: int
+    requested_iterations: int
+    iterations: int
+    useful_cycles: int
+    stall_cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    moves: int
+    cache_hits: int
+    cache_misses: int
+    state_digest: str
+
+    @property
+    def total_cycles(self) -> int:
+        return self.useful_cycles + self.stall_cycles
+
+    @property
+    def ipc(self) -> float:
+        """Operations retired per elapsed cycle (stalls included)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    @property
+    def miss_rate(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_misses / accesses if accesses else 0.0
+
+    @property
+    def bus_occupancy(self) -> float:
+        """Fraction of bus-cycles consumed by inter-cluster moves.
+
+        Relative to a single bus; divide by the machine's bus count for
+        the per-bus figure (unbounded-bus configurations keep the raw
+        per-cycle move density).
+        """
+        if self.useful_cycles == 0:
+            return 0.0
+        return self.moves / self.useful_cycles
+
+    def summary(self) -> str:
+        return (
+            f"{self.loop} on {self.machine}: {self.iterations} iterations, "
+            f"II={self.ii}, useful={self.useful_cycles} "
+            f"stall={self.stall_cycles} "
+            f"(IPC {self.ipc:.2f}, miss rate {self.miss_rate:.1%})"
+        )

@@ -1,0 +1,308 @@
+"""Cycle-accurate functional execution of emitted VLIW code.
+
+:class:`VliwSimulator` runs the output of
+:func:`repro.codegen.generate_code` bundle by bundle — prologue, then as
+many passes over the unrolled kernel as the trip count needs, then the
+epilogue — against architectural state:
+
+* one global register namespace whose names embed the owning cluster
+  (``c1:r7.k2``), read at issue time with read-before-write semantics
+  inside a bundle (the register file of a real VLIW reads its operands
+  before the cycle's writeback);
+* a byte-addressed memory, initialized on demand from
+  :func:`repro.sim.ops.initial_memory`;
+* the lockup-free cache of :mod:`repro.memsim` for *observed* (rather
+  than analytically predicted) stall cycles: a load miss makes its
+  destination register's data available ``miss_latency`` cycles after
+  issue, and the in-order pipeline blocks when a bundle needs an operand
+  before its data is ready or when all MSHRs are busy.
+
+Cycle accounting follows Section 4.3 of the paper: **useful** cycles are
+issued bundles — exactly ``II * (N + SC - 1)`` for ``N`` iterations of
+an SC-stage pipeline — and **stall** cycles are the extra cycles the
+clock advanced while the pipeline was blocked.
+
+Timing is modelled for loads only: every other latency is already
+honoured by construction (the static schedule spaces dependent issues at
+least one producer-latency apart, and elapsed cycles only grow beyond
+the static schedule as stalls are inserted), so hits never block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.codegen.emitter import GeneratedCode, generate_code
+from repro.core.result import ScheduleResult
+from repro.errors import SimulationError
+from repro.machine.resources import OpKind
+from repro.machine.technology import TechnologyModel
+from repro.memsim.cache import CacheConfig, LockupFreeCache
+from repro.sim import ops
+from repro.sim.reference import spill_load_distance
+from repro.sim.result import SimulationResult, state_digest
+
+_INVARIANT_PREFIX = "inv:"
+
+
+@dataclasses.dataclass
+class SimulationRun:
+    """A finished simulation: the compact result plus the full end state.
+
+    The heavyweight fields (per-instance values, memory image, register
+    file) exist for differential validation and debugging; only
+    :attr:`result` travels through caches and reports.
+    """
+
+    result: SimulationResult
+    #: (node id, iteration) -> value produced by that instance.
+    values: dict[tuple[int, int], int]
+    #: byte address -> last value stored.
+    memory: dict[int, int]
+    #: register name -> value at the end of the run.
+    registers: dict[str, int]
+
+
+def effective_iterations(code: GeneratedCode, iterations: int) -> int:
+    """Round a trip count up to what the emitted pipeline can execute.
+
+    The prologue starts ``SC - 1`` iterations and each pass over the
+    unrolled kernel retires exactly ``mve_factor`` more, so the smallest
+    executable trip count is ``SC - 1 + mve_factor`` and growth comes in
+    ``mve_factor`` steps (real software pipelines precondition the loop
+    for the same reason).
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    fill = code.stage_count - 1
+    passes = max(1, -(-(iterations - fill) // code.mve_factor))
+    return fill + passes * code.mve_factor
+
+
+class VliwSimulator:
+    """Executes one scheduled loop's emitted code (see module docstring).
+
+    Args:
+        schedule: a converged :class:`ScheduleResult` (with its graph).
+        code: pre-generated code; emitted from ``schedule`` when omitted.
+        cache_config: cache geometry (paper defaults when omitted).
+        technology: technology model supplying the miss latency.
+    """
+
+    def __init__(
+        self,
+        schedule: ScheduleResult,
+        code: GeneratedCode | None = None,
+        cache_config: CacheConfig | None = None,
+        technology: TechnologyModel | None = None,
+    ):
+        self.schedule = schedule
+        self.code = code or generate_code(schedule)
+        self.cache_config = cache_config or CacheConfig()
+        self.technology = technology or TechnologyModel()
+        graph = schedule.graph
+        self._nodes = {node.id: node for node in graph.nodes()}
+        self._invariants = {
+            f"{_INVARIANT_PREFIX}{inv.name}": ops.invariant_value(inv.id)
+            for inv in graph.invariants()
+        }
+        self._spill_distance = {
+            node.id: spill_load_distance(graph, node.id)
+            for node in graph.nodes()
+            if node.kind is OpKind.LOAD and node.is_spill
+        }
+
+    # ------------------------------------------------------------------
+
+    def _initial_registers(self) -> dict[str, int]:
+        """Live-in register contents.
+
+        Iteration ``c - K`` (the last pre-loop iteration congruent to
+        copy ``c``) owns register copy ``c``, so a loop-carried consumer
+        at iteration ``i`` reading distance ``d > i`` finds
+        ``initial_value(v, i - d)`` in the copy the emitter points it
+        at.  Non-expanded values alias all copies onto one name and the
+        ascending write order leaves ``initial_value(v, -1)`` there.
+        """
+        mve = self.code.mve_factor
+        registers: dict[str, int] = {}
+        for value, names in self.code.registers.items():
+            for copy, name in enumerate(names):
+                registers[name] = ops.initial_value(value, copy - mve)
+        return registers
+
+    def _bundles(self, passes: int):
+        """Yield ``(cycle block, bundle)`` over the whole execution."""
+        code = self.code
+        ii = code.ii
+        fill = code.stage_count - 1
+        for cycle, bundle in enumerate(code.prologue):
+            yield cycle // ii, bundle
+        for kernel_pass in range(passes):
+            base = fill + kernel_pass * code.mve_factor
+            for cycle, bundle in enumerate(code.kernel):
+                yield base + cycle // ii, bundle
+        base = fill + passes * code.mve_factor
+        for cycle, bundle in enumerate(code.epilogue):
+            yield base + cycle // ii, bundle
+
+    # ------------------------------------------------------------------
+
+    def run(self, iterations: int) -> SimulationRun:
+        """Execute the pipeline end to end for (at least) ``iterations``."""
+        code = self.code
+        mve = code.mve_factor
+        n_iterations = effective_iterations(code, iterations)
+        passes = (n_iterations - (code.stage_count - 1)) // mve
+
+        registers = self._initial_registers()
+        values: dict[tuple[int, int], int] = {}
+        memory: dict[int, int] = {}
+        cache = LockupFreeCache(self.cache_config)
+        miss_latency = self.technology.miss_latency_cycles(
+            self.schedule.machine
+        )
+        mshrs = self.cache_config.mshrs
+
+        clock = 0  # elapsed cycles, stalls included
+        useful = 0
+        stalls = 0
+        instructions = 0
+        loads = stores = moves = 0
+        data_ready: dict[str, int] = {}  # load dest -> data-ready cycle
+        pending: list[int] = []  # outstanding miss completion cycles
+
+        for block, bundle in self._bundles(passes):
+            # Issue-time operand fetch: every source is read before any
+            # write of this bundle lands, and the bundle as a whole
+            # waits for the slowest outstanding operand.
+            operand_values: list[list[int]] = []
+            ready = clock
+            for inst in bundle:
+                sources = []
+                for name in inst.sources:
+                    if name.startswith(_INVARIANT_PREFIX):
+                        try:
+                            sources.append(self._invariants[name])
+                        except KeyError:
+                            raise SimulationError(
+                                f"unknown invariant operand {name!r}"
+                            ) from None
+                    else:
+                        try:
+                            sources.append(registers[name])
+                        except KeyError:
+                            raise SimulationError(
+                                f"instruction for node {inst.node} reads "
+                                f"register {name!r} which nothing defines"
+                            ) from None
+                        ready = max(ready, data_ready.get(name, 0))
+                operand_values.append(sources)
+            if ready > clock:
+                stalls += ready - clock
+                clock = ready
+
+            writes: list[tuple[str, int, int]] = []
+            for inst, operands in zip(bundle, operand_values):
+                node = self._nodes[inst.node]
+                iteration = block - inst.stage
+                ready_at = 0  # 0 = data ready at issue
+
+                if node.kind is OpKind.LOAD:
+                    loads += 1
+                    if node.load_of_invariant is not None:
+                        value = ops.invariant_value(node.load_of_invariant)
+                        address = (
+                            node.mem_ref.address(0) if node.mem_ref else None
+                        )
+                    elif node.mem_ref is None:
+                        value = ops.load_value(0, operands)
+                        address = None
+                    else:
+                        slot = iteration - self._spill_distance.get(
+                            inst.node, 0
+                        )
+                        address = node.mem_ref.address(slot)
+                        word = memory.get(address)
+                        if word is None:
+                            word = ops.initial_memory(address)
+                        value = ops.load_value(word, operands)
+                    if address is not None and not cache.access(address):
+                        # MSHR pressure: with every miss register busy
+                        # the pipeline blocks until one retires.
+                        pending = [t for t in pending if t > clock]
+                        if len(pending) >= mshrs:
+                            wait = min(pending)
+                            stalls += wait - clock
+                            clock = wait
+                            pending = [t for t in pending if t > clock]
+                        if node.latency_override is None:
+                            ready_at = clock + miss_latency
+                        pending.append(clock + miss_latency)
+                elif node.kind is OpKind.STORE:
+                    stores += 1
+                    value = ops.evaluate(node.kind, operands)
+                    if node.mem_ref is not None:
+                        address = node.mem_ref.address(iteration)
+                        memory[address] = value
+                        # Write misses allocate but never block: stores
+                        # retire through the write buffer.
+                        cache.access(address, is_write=True)
+                elif node.kind is OpKind.MOVE and (
+                    node.move_of_invariant is not None
+                ):
+                    moves += 1
+                    value = ops.invariant_value(node.move_of_invariant)
+                else:
+                    if node.kind is OpKind.MOVE:
+                        moves += 1
+                    value = ops.evaluate(node.kind, operands)
+
+                values[(inst.node, iteration)] = value
+                if inst.dest is not None:
+                    writes.append((inst.dest, value, ready_at))
+                instructions += 1
+
+            for dest, value, ready_at in writes:
+                registers[dest] = value
+                if ready_at:
+                    data_ready[dest] = ready_at
+                else:
+                    data_ready.pop(dest, None)
+
+            useful += 1
+            clock += 1
+
+        result = SimulationResult(
+            loop=self.schedule.loop,
+            machine=self.schedule.machine.name,
+            ii=code.ii,
+            stage_count=code.stage_count,
+            mve_factor=mve,
+            requested_iterations=iterations,
+            iterations=n_iterations,
+            useful_cycles=useful,
+            stall_cycles=stalls,
+            instructions=instructions,
+            loads=loads,
+            stores=stores,
+            moves=moves,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            state_digest=state_digest(values, memory),
+        )
+        return SimulationRun(
+            result=result, values=values, memory=memory, registers=registers
+        )
+
+
+def simulate(
+    schedule: ScheduleResult,
+    iterations: int,
+    cache_config: CacheConfig | None = None,
+    technology: TechnologyModel | None = None,
+) -> SimulationRun:
+    """One-shot convenience wrapper around :class:`VliwSimulator`."""
+    return VliwSimulator(
+        schedule, cache_config=cache_config, technology=technology
+    ).run(iterations)

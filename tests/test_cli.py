@@ -70,3 +70,44 @@ class TestCli:
     def test_parser_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_simulate_demo(self, capsys):
+        assert main(["simulate", "--iterations", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "useful cycles (measured)" in out
+        assert "MATCH" in out
+        assert "MISMATCH" not in out
+
+    def test_simulate_workbench_loop(self, capsys):
+        assert main(
+            ["simulate", "--config", "2-(GP4M2-REG32)", "--loop", "5",
+             "--iterations", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reference interpreter: MATCH" in out
+
+    def test_simulate_rejects_non_positive_iterations(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--iterations", "0"])
+        assert exc.value.code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["schedule", "--loop", "1258"],
+            ["schedule", "--loop", "-1"],
+            ["simulate", "--loop", "99999"],
+            ["compare", "--loops", "0"],
+            ["compare", "--loops", "5000"],
+        ],
+    )
+    def test_out_of_range_workbench_arguments(self, argv, capsys):
+        """Out-of-range indices exit with a friendly argparse error
+        naming the valid range instead of a raw traceback."""
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err
+        assert "1258" in err

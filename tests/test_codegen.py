@@ -1,11 +1,36 @@
 """Tests for VLIW code generation (prologue / kernel / epilogue + MVE)."""
 
+import dataclasses
+
 import pytest
 
 from repro import LoopBuilder, MirsC, parse_config
 from repro.codegen import generate_code, modulo_variable_expansion_factor
+from repro.graph.ddg import DepKind
 
 from tests.helpers import UNIFIED, daxpy, random_graph
+
+
+def instance_counts(bundles):
+    counts = {}
+    for bundle in bundles:
+        for inst in bundle:
+            counts[inst.node] = counts.get(inst.node, 0) + 1
+    return counts
+
+
+def assert_fill_drain_invariant(result, code):
+    """A stage-s op appears SC-1-s times in the prologue, once per
+    kernel copy, and s times in the epilogue."""
+    low = min(result.times.values())
+    pro = instance_counts(code.prologue)
+    ker = instance_counts(code.kernel)
+    epi = instance_counts(code.epilogue)
+    for node_id, cycle in result.times.items():
+        stage = (cycle - low) // result.ii
+        assert pro.get(node_id, 0) == code.stage_count - 1 - stage
+        assert ker.get(node_id, 0) == code.mve_factor
+        assert epi.get(node_id, 0) == stage
 
 
 @pytest.fixture
@@ -105,6 +130,103 @@ class TestMVE:
         )
         with pytest.raises(ValueError):
             generate_code(bogus)
+
+    def test_rejects_register_infeasible(self):
+        """A 'converged' schedule whose allocation cannot fit the
+        register file must raise instead of emitting clobbered code."""
+        result = MirsC(UNIFIED).schedule(daxpy())
+        starved = dataclasses.replace(
+            result, machine=UNIFIED.with_registers(1)
+        )
+        with pytest.raises(ValueError, match="register-infeasible"):
+            generate_code(starved)
+
+
+class TestDeepExpansion:
+    """Instance-count and renaming invariants at MVE factors >= 3."""
+
+    @pytest.fixture(scope="class")
+    def deep_code(self):
+        # DAXPY at II=1 on the unified machine overlaps 4-cycle
+        # latencies deeply: the MVE factor lands well above 3.
+        result = MirsC(UNIFIED).schedule(daxpy())
+        code = generate_code(result)
+        assert code.mve_factor >= 3, "fixture must exercise deep MVE"
+        return result, code
+
+    def test_fill_drain_invariant_at_deep_mve(self, deep_code):
+        result, code = deep_code
+        assert_fill_drain_invariant(result, code)
+
+    def test_copy_labels_agree_across_pipeline_boundaries(self, deep_code):
+        """For every REG edge and iteration, the consumer reads exactly
+        the copy its producer's instance was labeled with — including
+        across the prologue/kernel and kernel/epilogue boundaries (a
+        shift bug here emits reads of never-written renamed registers
+        whenever (SC-1) % MVE != 0)."""
+        result, code = deep_code
+        ii, sc, mve = code.ii, code.stage_count, code.mve_factor
+        assert (sc - 1) % mve != 0, "fixture must cross-label boundaries"
+        label = {}
+
+        def scan(bundles, base_block):
+            for cycle, bundle in enumerate(bundles):
+                block = base_block + cycle // ii
+                for inst in bundle:
+                    label[(inst.node, block - inst.stage)] = inst.copy
+
+        scan(code.prologue, 0)
+        scan(code.kernel, sc - 1)           # first kernel pass
+        scan(code.kernel, sc - 1 + mve)     # second pass, same bundles
+        scan(code.epilogue, sc - 1 + 2 * mve)
+        checked = 0
+        for edge in result.graph.edges():
+            if edge.kind is not DepKind.REG:
+                continue
+            for (node, iteration), copy in label.items():
+                if node != edge.dst:
+                    continue
+                producer = (edge.src, iteration - edge.distance)
+                if producer not in label:
+                    continue
+                assert label[producer] == (copy - edge.distance) % mve
+                checked += 1
+        assert checked > 0
+
+
+class TestDegenerateLoops:
+    def test_store_only_loop(self):
+        """A loop that only stores invariants emits valid code."""
+        b = LoopBuilder("store_only", trip_count=64)
+        value = b.invariant("v")
+        b.store(value, array=0)
+        b.store(value, array=1, stride=2)
+        result = MirsC(UNIFIED).schedule(b.build())
+        code = generate_code(result)
+        assert_fill_drain_invariant(result, code)
+        instructions = code.all_instructions()
+        assert instructions
+        assert all(inst.dest is None for inst in instructions)
+        assert all(
+            source.startswith("inv:")
+            for inst in instructions
+            for source in inst.sources
+        )
+
+    def test_invariant_only_loop(self):
+        """Compute over invariants only: no loads, no loop-carried state."""
+        b = LoopBuilder("inv_only", trip_count=64)
+        a = b.invariant("a")
+        c = b.invariant("c")
+        total = b.add(b.mul(a, c), a)
+        b.store(total, array=0)
+        result = MirsC(UNIFIED).schedule(b.build())
+        code = generate_code(result)
+        assert_fill_drain_invariant(result, code)
+        sources = {
+            s for inst in code.all_instructions() for s in inst.sources
+        }
+        assert "inv:a" in sources and "inv:c" in sources
 
 
 class TestRegisterNaming:

@@ -12,6 +12,7 @@ from repro.eval.experiments import (
     figure5_rows,
     figure6_rows,
     figure7_rows,
+    simulator_rows,
     table1_rows,
     table2_rows,
     table3_rows,
@@ -95,6 +96,17 @@ class TestTableDrivers:
         normal = [r for r in rows if r[0] == "normal"][0]
         prefetch = [r for r in rows if r[0] == "prefetch"][0]
         assert prefetch[4] <= normal[4] + 1e-9  # stall component shrinks
+
+    def test_simulator_rows_measured_vs_analytic(self):
+        headers, rows, _ = simulator_rows(
+            LOOPS[:2], configs=("1-(GP8M4-REG64)",), iterations=20
+        )
+        assert len(headers) == len(rows[0])
+        for row in rows:
+            useful_sim = row[headers.index("useful sim")]
+            useful_model = row[headers.index("useful model")]
+            assert useful_sim == useful_model
+            assert row[-1] == "ok"
 
 
 class TestReporting:

@@ -1,0 +1,322 @@
+"""Tests for the cycle-accurate execution simulator (repro.sim).
+
+The centrepiece is the differential acceptance test: for every loop of
+the default 16-loop workbench on two machine configurations, executing
+the generated code must reproduce the scalar reference interpretation
+bit for bit, and the measured useful cycles must equal
+``II * (N + SC - 1)`` for the simulated trip count.
+"""
+
+import random
+
+import pytest
+
+from repro import LoopBuilder, MirsC
+from repro.codegen import generate_code
+from repro.exec import ResultCache, simulation_cache_key
+from repro.machine.resources import OpKind
+from repro.sim import (
+    ReferenceInterpreter,
+    VliwSimulator,
+    run_differential,
+    run_reference,
+    simulate,
+    simulate_many,
+    simulate_schedule,
+)
+from repro.sim import ops
+from repro.sim.vliw import effective_iterations
+from repro.workloads.perfect import cached_suite
+
+from tests.helpers import (
+    FOUR_CLUSTER_TIGHT,
+    UNIFIED,
+    daxpy,
+    random_graph,
+    reduction,
+)
+
+DIFF_ITERATIONS = 24
+
+
+# ----------------------------------------------------------------------
+# Value semantics
+# ----------------------------------------------------------------------
+
+
+class TestOps:
+    def test_values_stay_in_field(self):
+        for kind in OpKind:
+            value = ops.evaluate(kind, [ops.FIELD_PRIME - 1, 12345])
+            assert 0 <= value < ops.FIELD_PRIME
+
+    def test_operand_order_is_erased(self):
+        operands = [987654321, 123456789, 42]
+        for kind in (OpKind.ADD, OpKind.MUL, OpKind.DIV, OpKind.STORE):
+            baseline = ops.evaluate(kind, list(operands))
+            for _ in range(5):
+                shuffled = list(operands)
+                random.Random(0).shuffle(shuffled)
+                assert ops.evaluate(kind, shuffled) == baseline
+
+    def test_kinds_are_distinguished(self):
+        operands = [7, 11]
+        values = {
+            ops.evaluate(kind, list(operands))
+            for kind in (OpKind.ADD, OpKind.MUL, OpKind.DIV, OpKind.SQRT)
+        }
+        assert len(values) == 4
+
+    def test_identity_functions_are_pure(self):
+        assert ops.initial_value(3, -2) == ops.initial_value(3, -2)
+        assert ops.initial_value(3, -2) != ops.initial_value(3, -1)
+        assert ops.invariant_value(0) != ops.invariant_value(1)
+        assert ops.initial_memory(64) != ops.initial_memory(72)
+
+    def test_move_forwards_its_operand(self):
+        assert ops.evaluate(OpKind.MOVE, [991]) == 991
+
+    def test_plain_load_yields_memory_word(self):
+        assert ops.load_value(123456, []) == 123456
+
+
+# ----------------------------------------------------------------------
+# Reference interpreter
+# ----------------------------------------------------------------------
+
+
+class TestReference:
+    def test_daxpy_store_values(self):
+        """The store writes add(mul(x, a), y) of the same iteration."""
+        graph = daxpy()
+        run = run_reference(graph, 5)
+        a = ops.invariant_value(graph.invariants()[0].id)
+        for iteration in range(5):
+            x = run.values[(0, iteration)]
+            y = run.values[(1, iteration)]
+            product = ops.evaluate(OpKind.MUL, [x, a])
+            total = ops.evaluate(OpKind.ADD, [product, y])
+            assert run.values[(3, iteration)] == total
+            address = graph.node(4).mem_ref.address(iteration)
+            assert run.memory[address] == total
+
+    def test_loads_see_prior_stores(self):
+        b = LoopBuilder("feedback", trip_count=10)
+        x = b.load(array=0, stride=1)
+        b.store(x, array=0, stride=1)  # same address stream
+        graph = b.build()
+        run = run_reference(graph, 3)
+        # The load reads the untouched word first, the store writes it
+        # back verbatim: memory must equal the initial contents.
+        for iteration in range(3):
+            address = graph.node(0).mem_ref.address(iteration)
+            assert run.memory[address] == ops.initial_memory(address)
+
+    def test_live_in_collapse(self):
+        graph = reduction()  # acc -> acc at distance 1
+        distinct = ReferenceInterpreter(graph).run(3)
+        collapsed = ReferenceInterpreter(graph, live_in_moduli=1).run(3)
+        # With distance 1 both conventions agree: iteration 0 reads the
+        # producer's instance -1, which is its own collapse class.
+        assert distinct.values == collapsed.values
+
+    def test_zero_distance_cycle_rejected(self):
+        from repro.errors import GraphError
+        from repro.graph.ddg import DepKind, DependenceGraph
+
+        graph = DependenceGraph("cyclic")
+        a = graph.new_node(OpKind.ADD)
+        b = graph.new_node(OpKind.ADD)
+        graph.add_edge(a.id, b.id, kind=DepKind.REG, distance=0)
+        graph.add_edge(b.id, a.id, kind=DepKind.REG, distance=0)
+        with pytest.raises(GraphError):
+            ReferenceInterpreter(graph)
+
+
+# ----------------------------------------------------------------------
+# VLIW simulator
+# ----------------------------------------------------------------------
+
+
+class TestSimulator:
+    def test_useful_cycles_follow_the_formula(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        run = simulate(result, 40)
+        sim = run.result
+        assert sim.useful_cycles == sim.ii * (
+            sim.iterations + sim.stage_count - 1
+        )
+
+    def test_effective_iterations_round_up_to_kernel_passes(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        code = generate_code(result)
+        fill = code.stage_count - 1
+        for requested in (1, fill + 1, 40):
+            effective = effective_iterations(code, requested)
+            assert effective >= max(requested, fill + code.mve_factor)
+            assert (effective - fill) % code.mve_factor == 0
+        with pytest.raises(ValueError):
+            effective_iterations(code, 0)
+
+    def test_instruction_counts(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        run = simulate(result, 30)
+        sim = run.result
+        # Every operation executes once per iteration.
+        operations = len(result.graph)
+        assert sim.instructions == operations * sim.iterations
+        assert sim.loads == 2 * sim.iterations
+        assert sim.stores == sim.iterations
+
+    def test_observed_stalls_respond_to_prefetching(self):
+        """Binding-prefetched loads tolerate their misses by construction."""
+        from repro.machine.technology import TechnologyModel
+        from repro.memsim.prefetch import apply_binding_prefetch
+
+        b = LoopBuilder("gather", trip_count=512)
+        total = None
+        for j in range(3):
+            v = b.load(array=j, stride=16)  # 4 lines apart: misses often
+            total = v if total is None else b.add(total, v)
+        b.store(total, array=50)
+        graph = b.build()
+
+        technology = TechnologyModel()
+        normal = MirsC(UNIFIED).schedule(graph.clone())
+        stalls_normal = simulate(normal, 64).result.stall_cycles
+
+        prefetched_graph = apply_binding_prefetch(graph, UNIFIED, technology)
+        prefetched = MirsC(UNIFIED).schedule(prefetched_graph)
+        stalls_prefetched = simulate(prefetched, 64).result.stall_cycles
+
+        assert stalls_normal > 0
+        assert stalls_prefetched < stalls_normal
+
+    def test_state_digest_is_deterministic(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        first = simulate(result, 25).result
+        second = simulate(result, 25).result
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# Differential validation (the acceptance criterion)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=[UNIFIED, FOUR_CLUSTER_TIGHT],
+                ids=lambda m: m.name)
+def workbench_schedules(request):
+    machine = request.param
+    loops = cached_suite(16)
+    scheduler = MirsC(machine)
+    return [scheduler.schedule(loop.graph.clone()) for loop in loops]
+
+
+class TestDifferential:
+    def test_workbench_code_matches_reference(self, workbench_schedules):
+        for result in workbench_schedules:
+            report = run_differential(result, DIFF_ITERATIONS)
+            assert report.match, report.summary()
+            sim = report.simulation
+            assert sim.useful_cycles == sim.ii * (
+                sim.iterations + sim.stage_count - 1
+            )
+            assert sim.iterations >= DIFF_ITERATIONS
+
+    def test_random_graphs_match(self):
+        for seed in range(6):
+            graph = random_graph(seed, size=9)
+            result = MirsC(FOUR_CLUSTER_TIGHT).schedule(graph)
+            report = run_differential(result, 13)
+            assert report.match, report.summary()
+
+    def test_mismatch_is_detected(self):
+        """Corrupted code must not silently 'match' the reference."""
+        import dataclasses
+
+        result = MirsC(UNIFIED).schedule(daxpy())
+        code = generate_code(result)
+        all_names = sorted({ns[0] for ns in code.registers.values()})
+        # Sabotage: rewire one kernel instruction's first register
+        # operand to a different value's register — exactly the shape of
+        # a renaming bug in the emitter.
+        done = False
+        for bundle in code.kernel:
+            for index, inst in enumerate(bundle):
+                sources = [s for s in inst.sources if not s.startswith("inv:")]
+                if not sources:
+                    continue
+                wrong = next(n for n in all_names if n != sources[0])
+                patched = tuple(
+                    wrong if s == sources[0] else s for s in inst.sources
+                )
+                bundle[index] = dataclasses.replace(inst, sources=patched)
+                done = True
+                break
+            if done:
+                break
+        assert done
+        run = VliwSimulator(result, code=code).run(20)
+        reference = ReferenceInterpreter(result.graph).run(
+            run.result.iterations
+        )
+        assert run.values != reference.values
+
+
+# ----------------------------------------------------------------------
+# Cached / batched simulation
+# ----------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_simulate_many_orders_and_caches(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        loops = cached_suite(3)
+        scheduler = MirsC(UNIFIED)
+        schedules = [scheduler.schedule(loop.graph.clone()) for loop in loops]
+
+        first = simulate_many(schedules, 20, cache=cache)
+        assert [r.loop for r in first] == [loop.graph.name for loop in loops]
+
+        # A second call must be served entirely from the cache: break the
+        # simulation path and make sure nobody needs it.
+        import repro.sim.runner as runner_module
+
+        def boom(item):
+            raise AssertionError("cache miss on a warm cache")
+
+        monkeypatch.setattr(runner_module, "_simulate_item", boom)
+        second = simulate_many(schedules, 20, cache=cache)
+        assert second == first
+
+    def test_run_differential_uses_cache(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        result = MirsC(UNIFIED).schedule(daxpy())
+        first = run_differential(result, 20, cache=cache)
+        assert first.match
+        assert len(cache) == 1
+
+        # Warm rerun must not execute anything.
+        import repro.sim.differential as differential_module
+
+        class Boom:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("simulated on a warm cache")
+
+        monkeypatch.setattr(differential_module, "VliwSimulator", Boom)
+        assert run_differential(result, 20, cache=cache) == first
+
+    def test_simulate_schedule_uses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = MirsC(UNIFIED).schedule(daxpy())
+        first = simulate_schedule(result, 20, cache=cache)
+        assert len(cache) == 1
+        assert simulate_schedule(result, 20, cache=cache) == first
+
+    def test_cache_key_sensitivity(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        key_20 = simulation_cache_key(result, 20)
+        key_21 = simulation_cache_key(result, 21)
+        assert key_20 != key_21
+        assert key_20 == simulation_cache_key(result, 20)
