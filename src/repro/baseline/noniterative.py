@@ -133,8 +133,16 @@ class NonIterativeScheduler:
         available = state.machine.cluster.registers
         if available is None:
             return True
+        # MaxLive never exceeds the allocation, so the state's live
+        # pressure tracker rejects over-budget attempts without running
+        # the allocator (same short-circuit as MIRS-C's final check).
+        if any(
+            live > available
+            for live in state.pressure.max_live_all().values()
+        ):
+            return False
         allocations = allocate_registers(
-            state.graph, state.schedule, state.machine
+            state.graph, state.schedule, state.machine, state.pressure
         )
         return all(
             alloc.registers_used <= available
@@ -152,6 +160,9 @@ class NonIterativeScheduler:
     ) -> ScheduleResult:
         graph = state.graph
         schedule = state.schedule
+        # The result keeps the graph; stop observing it so the tracker
+        # (and the whole partial schedule) are not retained with it.
+        state.pressure.detach()
         analysis = LifetimeAnalysis(graph, schedule, state.machine)
         allocations = allocate_registers(
             graph, schedule, state.machine, analysis

@@ -9,20 +9,19 @@ earlier).  Either way registers are released in one cluster at the cost
 of occupancy in the other - spilling is attempted only "if not
 sufficient".
 
-Probing is *incremental*: the cluster's live-count rows are computed
-once, the contribution of the single affected lifetime is subtracted,
-and each candidate cycle only re-folds that one lifetime - O(II) per
-probe instead of a full lifetime analysis.
+Probing is *incremental*: the cluster's live-count rows are read off the
+scheduler's :class:`~repro.schedule.pressure.PressureTracker` (already
+current - no lifetime analysis is run), the contribution of the single
+affected lifetime is subtracted, and each candidate cycle only re-folds
+that one lifetime - O(II) per probe.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.state import SchedulerState
 from repro.graph.ddg import DepKind
 from repro.graph.latency import node_latency
-from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.pressure import fold_lifetime
 from repro.schedule.slots import dependence_window
 
 #: Cap on candidate cycles probed per move (keeps balancing cheap).
@@ -42,24 +41,6 @@ def _candidate_moves(state: SchedulerState, cluster: int) -> list[int]:
     # Deterministic order: latest-placed first (cheapest to revisit).
     candidates.sort(key=state.schedule.placement_seq, reverse=True)
     return candidates
-
-
-def _fold(rows: np.ndarray, start: int, end: int, sign: int) -> None:
-    """Add/remove a lifetime [start, end) onto live-count rows in place."""
-    length = end - start
-    if length <= 0:
-        return
-    ii = rows.shape[0]
-    full, rest = divmod(length, ii)
-    if full:
-        rows += sign * full
-    first = start % ii
-    tail = first + rest
-    if tail <= ii:
-        rows[first:tail] += sign
-    else:
-        rows[first:] += sign
-        rows[: tail - ii] += sign
 
 
 def _value_lifetime(
@@ -119,16 +100,9 @@ def balance_register_pressure(state: SchedulerState, cluster: int) -> bool:
         return False
     schedule = state.schedule
     ii = schedule.ii
-    analysis = LifetimeAnalysis(
-        state.graph,
-        schedule,
-        state.machine,
-        spilled_invariants=state.spilled_invariants,
-        collect_segments=False,
-    )
-    pressure = analysis.pressure[cluster]
-    rows = pressure.rows.astype(np.int64).copy()
-    invariants = pressure.invariant_registers
+    tracker = state.pressure
+    rows = tracker.variant_rows(cluster).copy()
+    invariants = tracker.invariant_registers(cluster)
     baseline = int(rows.max()) + invariants if rows.size else invariants
 
     improved = False
@@ -146,7 +120,7 @@ def balance_register_pressure(state: SchedulerState, cluster: int) -> bool:
         # strip its current contribution from the row counts.
         producer = None
         if into:
-            affected_old = _value_lifetime(state, move_id)
+            affected_old = tracker.lifetime_bounds(move_id)
         else:
             producers = [
                 e.src
@@ -162,7 +136,7 @@ def balance_register_pressure(state: SchedulerState, cluster: int) -> bool:
                 state, producer, move_id, old_cycle
             )
         stripped = rows.copy()
-        _fold(stripped, affected_old[0], affected_old[1], -1)
+        fold_lifetime(stripped, ii, affected_old[0], affected_old[1], -1)
 
         schedule.eject(move_id)
         window = dependence_window(state.graph, schedule, node, state.machine)
@@ -184,7 +158,7 @@ def balance_register_pressure(state: SchedulerState, cluster: int) -> bool:
                     state, producer, move_id, cycle
                 )
             probe = stripped.copy()
-            _fold(probe, new_lifetime[0], new_lifetime[1], +1)
+            fold_lifetime(probe, ii, new_lifetime[0], new_lifetime[1], +1)
             new_max = int(probe.max()) + invariants
             if new_max >= baseline:
                 continue

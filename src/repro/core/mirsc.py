@@ -240,10 +240,20 @@ class MirsC:
         available = state.machine.cluster.registers
         if available is None:
             return True
+        # MaxLive is a lower bound on the allocation (the colouring
+        # never beats it), so an over-budget cluster fails without
+        # running the allocator; the exact colouring only arbitrates the
+        # fitting side (footnote 2: MaxLive occasionally underestimates).
+        if any(
+            live > available
+            for live in state.pressure.max_live_all().values()
+        ):
+            return False
         allocations = allocate_registers(
             state.graph,
             state.schedule,
             state.machine,
+            state.pressure,
             spilled_invariants=state.spilled_invariants,
         )
         return all(
@@ -260,6 +270,9 @@ class MirsC:
     ) -> ScheduleResult:
         graph = state.graph
         schedule = state.schedule
+        # Batch role: the result is summarised with a from-scratch
+        # analysis (and the tracker stops observing the finished graph).
+        state.pressure.detach()
         analysis = LifetimeAnalysis(
             graph, schedule, state.machine,
             spilled_invariants=state.spilled_invariants,
@@ -328,10 +341,11 @@ class Mirs(MirsC):
         machine: MachineConfig,
         params: MirsParams | None = None,
         verify: bool = True,
+        strict: bool = True,
     ):
         if machine.clusters != 1:
             raise SchedulingError(
                 "Mirs targets unified (single-cluster) machines; "
                 "use MirsC for clustered configurations"
             )
-        super().__init__(machine, params=params, verify=verify)
+        super().__init__(machine, params=params, verify=verify, strict=strict)

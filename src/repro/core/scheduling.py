@@ -12,6 +12,12 @@ conflict - the operation that was placed into the partial schedule first.
 Dependence-violating neighbours of the forced node are then ejected as
 well.  (``MirsParams.eject_all`` restores the eject-everything policy for
 the ablation benchmark.)
+
+Every ``schedule.place`` / ``state.eject_node`` below emits a placement
+event that the state's incremental
+:class:`~repro.schedule.pressure.PressureTracker` consumes, so the
+register-pressure check that follows each placement reads up-to-date
+MaxLive/critical-row state without any recomputation here.
 """
 
 from __future__ import annotations

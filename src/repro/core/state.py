@@ -25,6 +25,7 @@ from repro.machine.config import MachineConfig
 from repro.core.params import MirsParams
 from repro.core.priority import PriorityList
 from repro.schedule.partial import PartialSchedule
+from repro.schedule.pressure import PressureTracker
 
 
 @dataclasses.dataclass
@@ -65,6 +66,14 @@ class SchedulerState:
         self.stats = SchedulerStats()
         #: (invariant id, cluster) pairs whose register was spilled away.
         self.spilled_invariants: set[tuple[int, int]] = set()
+        #: Incremental register-pressure engine: observes every
+        #: placement/ejection and every graph mutation, so MaxLive, the
+        #: critical row and the use segments are always current without
+        #: per-check recomputation (the old per-placement
+        #: ``LifetimeAnalysis`` hot path).
+        self.pressure = PressureTracker(
+            graph, self.schedule, machine, self.spilled_invariants
+        )
         # Memory operations are counted incrementally: spill insertion is
         # the only way the count grows (moves are not memory operations).
         self._mem_ops = sum(1 for n in graph.nodes() if n.kind.is_memory)

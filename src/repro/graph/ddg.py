@@ -186,11 +186,26 @@ class DependenceGraph:
     def __init__(self, name: str = "loop", trip_count: int = 100):
         self.name = name
         self.trip_count = trip_count
+        #: Unroll factor this graph was produced with (1 = not unrolled);
+        #: consumers that reason about iteration-space semantics (the
+        #: execution simulator, reporting) read it off the graph.
+        self.unroll_factor = 1
         self._nodes: dict[int, Node] = {}
         self._out: dict[int, list[Edge]] = {}
         self._in: dict[int, list[Edge]] = {}
         self._invariants: dict[int, Invariant] = {}
         self._next_id = itertools.count()
+        #: Mutation observers (the incremental pressure tracker).  Each
+        #: listener may implement ``on_edge_added(edge)``,
+        #: ``on_edge_removed(edge)`` and ``on_node_removed(node_id)``;
+        #: notifications fire *after* the mutation.  Not pickled and not
+        #: cloned: observers attach to one live scheduling attempt.
+        self._listeners: list = []
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
 
     # ------------------------------------------------------------------
     # Nodes
@@ -225,6 +240,8 @@ class DependenceGraph:
         del self._in[node_id]
         for inv in self._invariants.values():
             inv.consumers.discard(node_id)
+        for listener in self._listeners:
+            listener.on_node_removed(node_id)
 
     def node(self, node_id: int) -> Node:
         self._require(node_id)
@@ -265,6 +282,8 @@ class DependenceGraph:
         edge = Edge(src=src, dst=dst, kind=kind, distance=distance, latency=latency)
         self._out[src].append(edge)
         self._in[dst].append(edge)
+        for listener in self._listeners:
+            listener.on_edge_added(edge)
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
@@ -273,6 +292,8 @@ class DependenceGraph:
             self._in[edge.dst].remove(edge)
         except (KeyError, ValueError) as exc:
             raise GraphError(f"edge {edge} not present") from exc
+        for listener in self._listeners:
+            listener.on_edge_removed(edge)
 
     def out_edges(self, node_id: int) -> list[Edge]:
         self._require(node_id)
@@ -351,8 +372,13 @@ class DependenceGraph:
     # ------------------------------------------------------------------
 
     def clone(self) -> "DependenceGraph":
-        """Deep copy; used to restore the pristine graph on II restarts."""
+        """Deep copy; used to restore the pristine graph on II restarts.
+
+        Mutation listeners are *not* cloned: they belong to one live
+        scheduling attempt, and the clone starts unobserved.
+        """
         copy = DependenceGraph(name=self.name, trip_count=self.trip_count)
+        copy.unroll_factor = self.unroll_factor
         for node in self._nodes.values():
             copy.add_node(node.clone())
         for edge in self.edges():

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 
+from repro.errors import GraphError
 from repro.graph.ddg import DependenceGraph
 from repro.graph.recurrences import recurrence_mii
 from repro.machine.config import MachineConfig
@@ -46,7 +47,13 @@ def resource_mii(graph: DependenceGraph, machine: MachineConfig) -> int:
         bounds.append(max_occupancy(machine, graph.kinds()))
     if busy_mem:
         if machine.total_mem_ports == 0:
-            raise ValueError("graph has memory operations but no memory ports")
+            # Part of the repo's error taxonomy (repro.errors): callers
+            # guard whole scheduling runs with ``except ReproError``.
+            raise GraphError(
+                f"loop {graph.name!r} has {busy_mem} memory operation(s) "
+                f"but machine {machine.name!r} has no memory ports; no "
+                "initiation interval can accommodate them"
+            )
         bounds.append(math.ceil(busy_mem / machine.total_mem_ports))
     if busy_moves and machine.buses is not None:
         bounds.append(math.ceil(busy_moves / machine.buses))

@@ -1,9 +1,10 @@
-"""Modulo scheduling substrate: MRT, partial schedules, lifetimes, regalloc."""
+"""Modulo scheduling substrate: MRT, partial schedules, pressure, regalloc."""
 
 from repro.schedule.mrt import ModuloReservationTable
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.slots import Direction, SlotWindow, dependence_window
 from repro.schedule.lifetimes import LifetimeAnalysis, UseSegment, ValueLifetime
+from repro.schedule.pressure import PressureTracker
 from repro.schedule.regalloc import RegisterAllocation, allocate_registers
 
 __all__ = [
@@ -13,6 +14,7 @@ __all__ = [
     "SlotWindow",
     "dependence_window",
     "LifetimeAnalysis",
+    "PressureTracker",
     "UseSegment",
     "ValueLifetime",
     "RegisterAllocation",

@@ -12,6 +12,13 @@ The analysis also produces the paper's spill-selection inputs:
 * the **uses** of each value - the lifetime sections running from the
   previous use (or the definition) to each consumer - together with the
   non-spillable prefix covering the producer's latency.
+
+This is the *batch* analysis: it is built once per finished schedule
+(finalisation, register allocation on results) and serves as the
+reference implementation for the per-placement incremental engine in
+:mod:`repro.schedule.pressure`, which must stay bit-identical to it
+(``PressureTracker.assert_matches_scratch``).  The scheduler's hot path
+no longer runs this per placement.
 """
 
 from __future__ import annotations

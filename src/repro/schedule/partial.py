@@ -31,6 +31,11 @@ class PartialSchedule:
         # Survives ejections (but not II restarts): the cycle each node
         # occupied the last time it was scheduled.
         self.prev_cycle: dict[int, int] = {}
+        #: Placement observers (the incremental pressure tracker).  Each
+        #: listener may implement ``on_place(node, cluster, cycle)`` and
+        #: ``on_eject(node_id)``; notifications fire *after* the
+        #: schedule's own state changed.
+        self.listeners: list = []
 
     # ------------------------------------------------------------------
     # Queries
@@ -102,6 +107,8 @@ class PartialSchedule:
         self._cluster[node.id] = cluster
         self._seq[node.id] = next(self._counter)
         self.prev_cycle[node.id] = cycle
+        for listener in self.listeners:
+            listener.on_place(node, cluster, cycle)
 
     def eject(self, node_id: int) -> tuple[int, int]:
         """Remove a node from the schedule; returns its old placement.
@@ -114,6 +121,8 @@ class PartialSchedule:
         self.mrt.remove(node_id)
         old = (self._cluster.pop(node_id), self._time.pop(node_id))
         del self._seq[node_id]
+        for listener in self.listeners:
+            listener.on_eject(node_id)
         return old
 
     def forget(self, node_id: int) -> None:

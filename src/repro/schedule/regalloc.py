@@ -100,7 +100,7 @@ def allocate_registers(
     graph: DependenceGraph,
     schedule: PartialSchedule,
     machine: MachineConfig,
-    analysis: LifetimeAnalysis | None = None,
+    analysis=None,
     spilled_invariants: set[tuple[int, int]] = frozenset(),
 ) -> dict[int, RegisterAllocation]:
     """Allocate every cluster's register file; returns per-cluster results.
@@ -108,19 +108,26 @@ def allocate_registers(
     The allocation never fails: it reports how many registers *would* be
     needed, and the caller (the spill heuristic) compares that against the
     architecture and decides whether to spill.
+
+    ``analysis`` may be a batch :class:`LifetimeAnalysis` or the
+    scheduler's live :class:`~repro.schedule.pressure.PressureTracker`
+    (both expose ``lifetimes`` and per-cluster ``pressure``); when
+    omitted, a fresh batch analysis is built.
     """
     if analysis is None:
         analysis = LifetimeAnalysis(
             graph, schedule, machine, spilled_invariants=spilled_invariants
         )
     ii = schedule.ii
+    lifetimes = analysis.lifetimes
+    pressure = analysis.pressure
     results: dict[int, RegisterAllocation] = {}
     for cluster in range(machine.clusters):
         dedicated = 0
         arcs: list[tuple[int, int, int]] = []
         assignment: dict[int, list[int]] = {}
         full_counts: dict[int, int] = {}
-        for lifetime in analysis.lifetimes:
+        for lifetime in lifetimes:
             if lifetime.cluster != cluster or lifetime.length <= 0:
                 continue
             full, rest = divmod(lifetime.length, ii)
@@ -138,7 +145,7 @@ def allocate_registers(
                 registers.append(dedicated + colours[value])
             if registers:
                 assignment[value] = registers
-        invariant_registers = analysis.pressure[cluster].invariant_registers
+        invariant_registers = pressure[cluster].invariant_registers
         results[cluster] = RegisterAllocation(
             cluster=cluster,
             registers_used=dedicated + colour_count + invariant_registers,

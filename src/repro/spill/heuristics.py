@@ -29,24 +29,13 @@ from repro.cluster.balance import balance_register_pressure
 from repro.cluster.moves import add_invariant_move
 from repro.graph.ddg import DepKind, Invariant, MemRef, Node
 from repro.machine.resources import OpKind, ResourceClass
-from repro.schedule.lifetimes import LifetimeAnalysis, UseSegment
+from repro.schedule.lifetimes import UseSegment
+from repro.schedule.pressure import PressureTracker
 from repro.schedule.regalloc import allocate_registers
 
 #: Array-id namespace for compiler-generated spill slots (disjoint from
 #: the workload generator's arrays).
 SPILL_ARRAY_BASE = 1 << 20
-
-
-def _analysis(
-    state: SchedulerState, collect_segments: bool = True
-) -> LifetimeAnalysis:
-    return LifetimeAnalysis(
-        state.graph,
-        state.schedule,
-        state.machine,
-        spilled_invariants=state.spilled_invariants,
-        collect_segments=collect_segments,
-    )
 
 
 def check_and_insert_spill(state: SchedulerState, *, final: bool = False) -> bool:
@@ -56,40 +45,45 @@ def check_and_insert_spill(state: SchedulerState, *, final: bool = False) -> boo
     from ``SG x AR`` to ``AR`` and RR is taken from an actual register
     allocation rather than the MaxLive approximation (footnote 2 of the
     paper: MaxLive is occasionally a slight underestimate).
+
+    Pressure queries (MaxLive, critical row, use segments) read the
+    state's incremental :class:`~repro.schedule.pressure.PressureTracker`,
+    which every spill/eject/balance action below keeps current - this
+    check, which runs after every placement, no longer rebuilds a
+    from-scratch lifetime analysis.
     """
     available = state.machine.cluster.registers
     if available is None:
         return False
     acted = False
-    # Cheap first pass: pressure only, no segment construction.  The
-    # expensive segment analysis is built lazily, only for clusters that
-    # are actually over their threshold.
-    analysis = _analysis(state, collect_segments=False)
-    full_analysis: LifetimeAnalysis | None = None
+    tracker = state.pressure
     allocations = None
-    if final:
-        allocations = allocate_registers(
-            state.graph,
-            state.schedule,
-            state.machine,
-            analysis,
-            spilled_invariants=state.spilled_invariants,
-        )
+    # One invariant-count pass for all clusters; refreshed after any
+    # action below mutates the schedule or the graph.
+    max_live = tracker.max_live_all()
     for cluster in range(state.machine.clusters):
-        requirement = analysis.max_live(cluster)
+        requirement = max_live[cluster]
         if final:
-            if allocations is None:
-                allocations = allocate_registers(
-                    state.graph,
-                    state.schedule,
-                    state.machine,
-                    analysis,
-                    spilled_invariants=state.spilled_invariants,
-                )
-            requirement = max(
-                requirement, allocations[cluster].registers_used
-            )
             threshold = float(available)
+            if requirement <= threshold:
+                # MaxLive fits, but the actual allocation may exceed it
+                # (footnote 2 of the paper) - consult it.  When MaxLive
+                # is already over the threshold the allocation cannot
+                # change the verdict (greedy colouring never beats the
+                # MaxLive lower bound: full-period registers cover every
+                # row and arc colours >= the peak arc density), so the
+                # expensive colouring runs only on the fitting side.
+                if allocations is None:
+                    allocations = allocate_registers(
+                        state.graph,
+                        state.schedule,
+                        state.machine,
+                        tracker,
+                        spilled_invariants=state.spilled_invariants,
+                    )
+                requirement = max(
+                    requirement, allocations[cluster].registers_used
+                )
         else:
             threshold = state.params.spill_gauge * available
         if requirement <= threshold:
@@ -99,21 +93,17 @@ def check_and_insert_spill(state: SchedulerState, *, final: bool = False) -> boo
             state, cluster
         ):
             acted = True
-            analysis = _analysis(state, collect_segments=False)
-            full_analysis = None
             allocations = None
-            if analysis.max_live(cluster) <= threshold:
+            max_live = tracker.max_live_all()
+            if max_live[cluster] <= threshold:
                 continue
 
-        if full_analysis is None:
-            full_analysis = _analysis(state)
-        if _spill_once(state, cluster, full_analysis):
+        if _spill_once(state, cluster, tracker):
             acted = True
-        elif _eject_from_critical_row(state, cluster, full_analysis):
+        elif _eject_from_critical_row(state, cluster, tracker):
             acted = True
-        analysis = _analysis(state, collect_segments=False)
-        full_analysis = None
         allocations = None
+        max_live = tracker.max_live_all()
     return acted
 
 
@@ -131,27 +121,30 @@ def _segment_traffic(state: SchedulerState, segment: UseSegment) -> int:
 
 
 def _spill_once(
-    state: SchedulerState, cluster: int, analysis: LifetimeAnalysis
+    state: SchedulerState, cluster: int, pressure: PressureTracker
 ) -> bool:
     """Spill the best candidate crossing the critical cycle, if any."""
-    critical = analysis.critical_row(cluster)
+    critical = pressure.critical_row(cluster)
     ii = state.ii
+    min_span = state.params.min_span_gauge
     best_segment: UseSegment | None = None
     best_ratio = 0.0
-    for segment in analysis.segments_in_cluster(cluster):
-        if not segment.spillable:
-            continue
-        if segment.span < state.params.min_span_gauge:
+    for segment in pressure.segments_in_cluster(cluster):
+        # Field arithmetic inline (rather than the span/spillable
+        # properties): this loop visits every segment of the cluster on
+        # every spill decision.
+        span = segment.end - segment.start
+        if span < min_span or segment.start < segment.non_spillable_end:
             continue
         if not segment.crosses_row(critical, ii):
             continue
         if segment.value not in state.graph:
             continue
-        ratio = segment.span / _segment_traffic(state, segment)
+        ratio = span / _segment_traffic(state, segment)
         if ratio > best_ratio or (
             best_segment is not None
             and ratio == best_ratio
-            and (segment.span, -segment.value)
+            and (span, -segment.value)
             > (best_segment.span, -best_segment.value)
         ):
             best_ratio = ratio
@@ -446,25 +439,23 @@ def _invariant_source_cluster(
 # ----------------------------------------------------------------------
 
 def _eject_from_critical_row(
-    state: SchedulerState, cluster: int, analysis: LifetimeAnalysis
+    state: SchedulerState, cluster: int, pressure: PressureTracker
 ) -> bool:
     """Eject one node issuing in the critical cycle (Section 3.2.3).
 
     Re-placing it elsewhere moves the non-spillable section of its value
     out of the critical cycle, reducing the register requirement there.
     """
-    critical = analysis.critical_row(cluster)
+    critical = pressure.critical_row(cluster)
     candidates = state.schedule.nodes_in_row(critical, cluster)
     if not candidates:
         return False
-    lifetime_of = {
-        lt.value: lt.length
-        for lt in analysis.lifetimes
-        if lt.cluster == cluster
-    }
     victim = max(
         candidates,
-        key=lambda n: (lifetime_of.get(n, 0), -state.schedule.placement_seq(n)),
+        key=lambda n: (
+            pressure.lifetime_length(n),
+            -state.schedule.placement_seq(n),
+        ),
     )
     state.eject_node(victim)
     return True

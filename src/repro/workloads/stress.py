@@ -1,0 +1,81 @@
+"""Large-loop stress workload for scheduler-throughput benchmarking.
+
+The Perfect-Club-like workbench (:mod:`repro.workloads.perfect`) tops out
+around 160 nodes after unrolling; register-pressure-aware scheduling cost
+is dominated by much larger loop bodies (fully unrolled kernels, fused
+loop nests), which is exactly the regime the incremental pressure engine
+(:mod:`repro.schedule.pressure`) targets.  This module generates seeded
+100-400 node loops by scaling the synthetic generator profile: more
+statements, deeper expression trees, more invariants and recurrences, so
+MaxLive comfortably exceeds the register file and the spill heuristic
+fires constantly.
+
+Loops are deterministic per (seed, index) like the workbench, so
+throughput numbers from different commits are measured on bit-identical
+graphs (``benchmarks/bench_scheduler.py`` relies on this).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph
+from repro.workloads.synthetic import GeneratorProfile, LoopGenerator
+
+#: Master seed of the stress population (disjoint from the workbench's).
+STRESS_SEED = 7001
+
+#: Profile producing ~100-400 node loop bodies with heavy register
+#: pressure: many statements, deep trees, frequent recurrences and
+#: invariant operands.
+STRESS_PROFILE = GeneratorProfile(
+    min_statements=8,
+    max_statements=22,
+    min_expr_ops=6,
+    max_expr_ops=16,
+    recurrence_prob=0.5,
+    max_distance=4,
+    div_prob=0.02,
+    sqrt_prob=0.0,
+    load_operand_prob=0.4,
+    invariant_operand_prob=0.15,
+    max_invariants=6,
+    memory_dep_prob=0.2,
+    min_trip=64,
+    max_trip=1024,
+)
+
+#: Node-count window the population is filtered to.
+MIN_NODES = 100
+MAX_NODES = 400
+
+
+def stress_suite(count: int = 8, seed: int = STRESS_SEED) -> list[DependenceGraph]:
+    """The first ``count`` stress loops (deterministic, no unrolling).
+
+    One pass over the seeded candidate stream: candidates outside the
+    [MIN_NODES, MAX_NODES] window are skipped, so loop ``i`` is the
+    ``i``-th in-window graph - stable regardless of how many loops the
+    caller requests.
+    """
+    generator = LoopGenerator(STRESS_PROFILE)
+    suite: list[DependenceGraph] = []
+    candidate = 0
+    limit = 1000 * (count + 1)
+    while len(suite) < count:
+        if candidate >= limit:
+            # The profile currently lands in-window on most candidates;
+            # a drastic generator/profile change could starve the filter,
+            # and an unbounded loop would hang CI instead of failing.
+            raise GraphError(
+                f"stress generator produced only {len(suite)} loops in "
+                f"[{MIN_NODES}, {MAX_NODES}] nodes after {candidate} "
+                f"candidates (wanted {count}); the profile and the "
+                "window have drifted apart"
+            )
+        graph = generator.generate(
+            seed * 1_000_003 + candidate, name=f"stress{len(suite)}"
+        )
+        if MIN_NODES <= len(graph) <= MAX_NODES:
+            suite.append(graph)
+        candidate += 1
+    return suite

@@ -17,22 +17,52 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 
 from repro.errors import GraphError
 from repro.graph.ddg import DependenceGraph, MemRef
 
 
-def unroll(graph: DependenceGraph, factor: int) -> DependenceGraph:
-    """Return a new graph: ``graph`` unrolled ``factor`` times."""
+def unroll(
+    graph: DependenceGraph, factor: int, *, remainder: str = "warn"
+) -> DependenceGraph:
+    """Return a new graph: ``graph`` unrolled ``factor`` times.
+
+    The unrolled graph's trip count is ``ceil(trip_count / factor)``.
+    When ``factor`` does not divide ``trip_count`` that *changes the
+    iteration space*: the last unrolled iteration executes all replicas,
+    i.e. ``factor - trip_count % factor`` surplus original iterations
+    (real compilers emit an epilogue; this model has none, and the
+    execution simulator runs whatever ``trip_count`` says).  ``remainder``
+    selects what to do about it: ``"warn"`` (default) emits a
+    ``UserWarning``, ``"raise"`` raises :class:`GraphError`, ``"ignore"``
+    stays silent.  The composed unroll factor is recorded on the result
+    graph (``DependenceGraph.unroll_factor``) so downstream consumers can
+    reason about the transformed iteration space.
+    """
     if factor < 1:
         raise GraphError("unroll factor must be >= 1")
+    if remainder not in ("warn", "raise", "ignore"):
+        raise GraphError(f"unknown remainder policy {remainder!r}")
     if factor == 1:
         return graph.clone()
+    leftover = graph.trip_count % factor
+    if leftover:
+        message = (
+            f"unroll factor {factor} does not divide trip count "
+            f"{graph.trip_count} of loop {graph.name!r}: the unrolled "
+            f"loop executes {factor - leftover} surplus iteration(s)"
+        )
+        if remainder == "raise":
+            raise GraphError(message)
+        if remainder == "warn":
+            warnings.warn(message, UserWarning, stacklevel=2)
 
     result = DependenceGraph(
         name=f"{graph.name}@x{factor}",
         trip_count=max(1, math.ceil(graph.trip_count / factor)),
     )
+    result.unroll_factor = factor * graph.unroll_factor
     # node id -> list of replica nodes
     replicas: dict[int, list] = {}
     for node in sorted(graph.nodes(), key=lambda n: n.id):
@@ -99,6 +129,17 @@ def saturate(graph: DependenceGraph, policy: SaturationPolicy | None = None):
 
     Returns ``(graph, factor)``; the graph is returned unchanged (not
     cloned) when no unrolling is needed.
+
+    Among the factors within the policy's budget, one that *divides* the
+    trip count is preferred (largest such, searching down from the
+    saturation target): a dividing factor keeps the unrolled iteration
+    space exactly equivalent to the original loop, which the execution
+    simulator's differential validation relies on.  When no factor >= 2
+    divides the trip count the saturation target is used as is - a
+    deliberate, documented trade (saturation over exact iteration
+    count), so the unroll is performed with ``remainder="ignore"``
+    rather than warning on every workbench build; the surplus remains
+    visible through ``unroll_factor`` and ``trip_count`` on the result.
     """
     policy = policy or SaturationPolicy()
     compute_ops = sum(1 for n in graph.nodes() if n.kind.is_compute)
@@ -112,4 +153,9 @@ def saturate(graph: DependenceGraph, policy: SaturationPolicy | None = None):
         factor -= 1
     if factor <= 1:
         return graph, 1
-    return unroll(graph, factor), factor
+    if graph.trip_count % factor:
+        for candidate in range(factor - 1, 1, -1):
+            if graph.trip_count % candidate == 0:
+                factor = candidate
+                break
+    return unroll(graph, factor, remainder="ignore"), factor

@@ -106,3 +106,23 @@ def test_custom_params_accepted():
     machine = paper_configuration(2, 32)
     result = MirsC(machine, params=params).schedule(LOOPS[0].graph)
     assert result.converged
+
+
+def test_mirs_forwards_strict():
+    """Regression: ``Mirs(machine, strict=False)`` used to be a
+    ``TypeError`` (the kwarg was silently dropped from the signature),
+    so single-cluster ablation runs could not opt out of
+    ``ConvergenceError``."""
+    from repro import ConvergenceError
+    from tests.helpers import wide
+
+    machine = paper_configuration(1, 64)
+    starved = MirsParams(max_ii=1)  # wide(8) needs II >= 4: cannot converge
+    graph = wide(8)
+
+    result = Mirs(machine, params=starved, strict=False).schedule(graph)
+    assert not result.converged
+    assert result.ii == 1  # the cap it gave up at
+
+    with pytest.raises(ConvergenceError):
+        Mirs(machine, params=starved).schedule(graph)  # strict by default

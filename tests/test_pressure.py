@@ -1,0 +1,200 @@
+"""Tests for the incremental register-pressure engine.
+
+The contract under test: :class:`repro.schedule.pressure.PressureTracker`
+is bit-identical to a from-scratch
+:class:`~repro.schedule.lifetimes.LifetimeAnalysis` after *any* sequence
+of scheduler events - placements, ejections, move insertion/removal,
+spill insertion, invariant spilling, pressure balancing - on unified and
+clustered machines alike.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.moves import add_move, next_needed_move
+from repro.cluster.selection import select_cluster
+from repro.core.mirsc import MirsC
+from repro.core.params import MirsParams
+from repro.core.scheduling import schedule_node
+from repro.core.state import SchedulerState
+from repro.errors import SchedulingError
+from repro.graph.mii import compute_mii
+from repro.order.hrms import hrms_order
+from repro.schedule import pressure as pressure_module
+from repro.schedule.lifetimes import LifetimeAnalysis
+from repro.schedule.pressure import PressureTracker
+from repro.spill.heuristics import check_and_insert_spill
+from repro.workloads.perfect import cached_suite
+
+from tests.helpers import (
+    FOUR_CLUSTER_TIGHT,
+    TWO_CLUSTER,
+    UNIFIED,
+    UNIFIED_SMALL,
+    daxpy,
+    random_graph,
+)
+
+MACHINES = [UNIFIED_SMALL, TWO_CLUSTER, FOUR_CLUSTER_TIGHT]
+
+
+def _fresh_state(seed: int, machine) -> SchedulerState:
+    graph = random_graph(seed, size=10 + seed % 5)
+    ordering = hrms_order(graph, machine)
+    ii = compute_mii(graph, machine) + seed % 3
+    return SchedulerState(
+        graph, machine, ii, ordering.priority, MirsParams()
+    )
+
+
+def _place_random(state: SchedulerState, rng: random.Random) -> None:
+    unscheduled = [
+        n
+        for n in state.graph.nodes()
+        if not state.schedule.is_scheduled(n.id) and not n.is_move
+    ]
+    if not unscheduled:
+        return
+    node = rng.choice(unscheduled)
+    cluster = select_cluster(state, node)
+    guard = 0
+    while True:
+        plan = next_needed_move(state, node, cluster)
+        if plan is None:
+            break
+        move = add_move(state, plan)
+        schedule_node(state, move, plan.dst_cluster)
+        guard += 1
+        if guard > 8:
+            break
+    if node.id in state.graph and not state.schedule.is_scheduled(node.id):
+        schedule_node(state, node, cluster)
+
+
+def _eject_random(state: SchedulerState, rng: random.Random) -> None:
+    scheduled = [
+        n for n in state.schedule.scheduled_ids() if n in state.graph
+    ]
+    if not scheduled:
+        return
+    state.eject_node(rng.choice(scheduled))
+
+
+class TestRandomizedEventSequences:
+    """Property: tracker == scratch analysis after every event mix."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2_000))
+    def test_tracker_bit_identical_after_random_events(self, seed):
+        rng = random.Random(seed)
+        machine = MACHINES[seed % len(MACHINES)]
+        state = _fresh_state(seed, machine)
+        for _ in range(25):
+            roll = rng.random()
+            try:
+                if roll < 0.55:
+                    _place_random(state, rng)
+                elif roll < 0.75:
+                    _eject_random(state, rng)
+                else:
+                    check_and_insert_spill(
+                        state, final=rng.random() < 0.3
+                    )
+            except SchedulingError:
+                break  # livelock guards may fire on adversarial orders
+            state.pressure.assert_matches_scratch()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_tracker_attaches_to_partial_schedules(self, seed):
+        """A tracker built over an already-partial schedule is exact."""
+        rng = random.Random(seed)
+        machine = MACHINES[seed % len(MACHINES)]
+        state = _fresh_state(seed, machine)
+        for _ in range(6):
+            _place_random(state, rng)
+        late = PressureTracker(
+            state.graph, state.schedule, machine, state.spilled_invariants
+        )
+        try:
+            late.assert_matches_scratch()
+        finally:
+            late.detach()
+
+
+class TestSchedulerEquivalence:
+    def test_workbench_schedules_match_batch_analysis(self, monkeypatch):
+        """Acceptance: the tracker is bit-identical to the from-scratch
+        analysis after *every* event of whole MIRS-C runs over the
+        16-loop workbench, on both machine configurations."""
+        monkeypatch.setattr(pressure_module, "SELF_CHECK", True)
+        for machine in (UNIFIED, FOUR_CLUSTER_TIGHT):
+            for loop in cached_suite(16):
+                result = MirsC(machine, strict=False).schedule(loop.graph)
+                assert result.converged or result.restarts > 0
+
+    def test_hand_built_schedule_matches_scratch(self):
+        """Tracker over a manually placed schedule equals the batch
+        analysis query for query (rows, MaxLive, critical row,
+        segments), including after an ejection."""
+        from repro.schedule.partial import PartialSchedule
+
+        graph = daxpy()
+        machine = TWO_CLUSTER
+        schedule = PartialSchedule(machine, ii=6)
+        tracker = PressureTracker(graph, schedule, machine)
+        nodes = sorted(graph.nodes(), key=lambda n: n.id)
+        for offset, node in enumerate(nodes):
+            schedule.place(node, offset % machine.clusters, offset * 2)
+        tracker.assert_matches_scratch()
+        schedule.eject(nodes[1].id)
+        tracker.assert_matches_scratch()
+        scratch = LifetimeAnalysis(graph, schedule, machine)
+        for cluster in range(machine.clusters):
+            assert tracker.max_live(cluster) == scratch.max_live(cluster)
+            assert tracker.critical_row(cluster) == scratch.critical_row(
+                cluster
+            )
+        assert tracker.segments == scratch.segments
+        tracker.detach()
+
+
+class TestTrackerLifecycle:
+    def test_detach_stops_observing(self):
+        machine = UNIFIED
+        state = _fresh_state(3, machine)
+        tracker = state.pressure
+        assert tracker in state.graph._listeners
+        assert tracker in state.schedule.listeners
+        tracker.detach()
+        assert tracker not in state.graph._listeners
+        assert tracker not in state.schedule.listeners
+
+    def test_graph_pickle_drops_listeners(self):
+        import pickle
+
+        state = _fresh_state(4, UNIFIED)
+        rng = random.Random(4)
+        _place_random(state, rng)
+        clone = pickle.loads(pickle.dumps(state.graph))
+        assert clone._listeners == []
+        assert len(clone) == len(state.graph)
+
+    def test_lifetime_length_of_untracked_node_is_zero(self):
+        state = _fresh_state(5, UNIFIED)
+        assert state.pressure.lifetime_length(10_000) == 0
+
+
+@pytest.mark.parametrize("machine", [UNIFIED_SMALL, FOUR_CLUSTER_TIGHT])
+def test_spill_heavy_runs_stay_identical(machine, monkeypatch):
+    """Small register files force spills/ejections/balancing; every one
+    of those events must keep the tracker exact."""
+    monkeypatch.setattr(pressure_module, "SELF_CHECK", True)
+    graph = random_graph(11, size=14)
+    result = MirsC(machine, strict=False).schedule(graph)
+    assert result is not None

@@ -117,3 +117,26 @@ class TestComputeMII:
         from repro import DependenceGraph
 
         assert compute_mii(DependenceGraph("empty"), UNIFIED) == 1
+
+
+class TestErrorTaxonomy:
+    def test_memory_ops_without_ports_raise_graph_error(self):
+        """Regression: this used to be a bare ``ValueError``, escaping
+        the repo's error taxonomy (``except ReproError`` guards)."""
+        from repro.errors import ReproError
+
+        portless = parse_config("1-(GP8M0-REG64)")
+        with pytest.raises(GraphError) as excinfo:
+            resource_mii(daxpy(), portless)
+        assert "memory port" in str(excinfo.value)
+        assert isinstance(excinfo.value, ReproError)
+        with pytest.raises(ReproError):
+            compute_mii(daxpy(), portless)
+
+    def test_memory_free_graph_tolerates_portless_machine(self):
+        from repro import LoopBuilder
+
+        b = LoopBuilder("pure")
+        b.add(b.add())
+        portless = parse_config("1-(GP8M0-REG64)")
+        assert resource_mii(b.build(), portless) >= 1

@@ -156,3 +156,78 @@ class TestSuite:
         assert loop.index == 100
         assert len(loop.graph) > 0
         assert loop.graph.name.startswith(loop.family)
+
+
+class TestUnrollTripSemantics:
+    """Regression: unrolling used to clamp ``trip_count`` silently, so a
+    non-dividing factor quietly changed the iteration space executed by
+    the differential simulator."""
+
+    def test_non_dividing_factor_warns(self):
+        import pytest
+
+        graph = daxpy(trip_count=10)
+        with pytest.warns(UserWarning, match="does not divide"):
+            unrolled = unroll(graph, 3)
+        assert unrolled.trip_count == 4  # ceil(10 / 3)
+
+    def test_non_dividing_factor_can_raise(self):
+        import pytest
+
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError, match="surplus"):
+            unroll(daxpy(trip_count=10), 3, remainder="raise")
+
+    def test_dividing_factor_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            unrolled = unroll(daxpy(trip_count=12), 3)
+        assert unrolled.trip_count == 4
+
+    def test_unknown_remainder_policy_rejected(self):
+        import pytest
+
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError, match="remainder"):
+            unroll(daxpy(trip_count=12), 3, remainder="nonsense")
+
+    def test_factor_recorded_and_composed(self):
+        graph = daxpy(trip_count=64)
+        assert graph.unroll_factor == 1
+        once = unroll(graph, 2)
+        assert once.unroll_factor == 2
+        twice = unroll(once, 4)
+        assert twice.unroll_factor == 8
+        assert twice.clone().unroll_factor == 8
+
+    def test_saturate_prefers_dividing_factor(self):
+        import warnings
+
+        # daxpy has 2 compute ops: the saturation target asks for x8,
+        # which does not divide 100; 5 is the largest dividing factor.
+        graph = daxpy(trip_count=100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            saturated, factor = saturate(graph, SaturationPolicy())
+        assert factor == 5
+        assert saturated.trip_count == 20
+        assert saturated.unroll_factor == 5
+
+    def test_saturate_falls_back_when_no_divisor(self):
+        import warnings
+
+        # Prime trip count: no factor in [2, 8] divides it; the
+        # saturation target is kept.  The trade is saturate()'s own
+        # documented policy, so it does not warn (the surplus stays
+        # visible via unroll_factor and trip_count).
+        graph = daxpy(trip_count=97)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            saturated, factor = saturate(graph, SaturationPolicy())
+        assert factor == 8
+        assert saturated.unroll_factor == 8
+        assert saturated.trip_count == 13  # ceil(97 / 8)
