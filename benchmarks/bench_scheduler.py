@@ -9,7 +9,10 @@ populations:
   compares this number across commits, so the population must be fixed);
 * the 100-400-node stress loops of :mod:`repro.workloads.stress`, the
   regime the incremental pressure engine (``repro.schedule.pressure``)
-  was built for (loop count scales with ``REPRO_BENCH_LOOPS``).
+  was built for (loop count scales with ``REPRO_BENCH_LOOPS``) — run
+  once per II-search policy (``linear``, the paper-exact default, and
+  ``geometric``, the pressure-informed jump policy), with per-policy
+  rows in the JSON.
 
 Results land in ``benchmarks/results/BENCH_scheduler.json``.  A fixed
 ~90-node *calibration loop* is scheduled first and every wall-time is
@@ -20,7 +23,12 @@ across hosts of different speeds.  When the committed baseline
 * the run **fails** if the normalized workbench wall-time regressed more
   than ``REPRO_BENCH_TOLERANCE`` (default 0.25, i.e. 25 %) against it;
 * the recorded pre-PR engine measurements are used to compute (and
-  assert) the stress-suite speedup of the incremental engine.
+  assert) the stress-suite speedup of the incremental engine;
+* the ``ii_search`` section gates the policies: the linear stress run
+  must stay within the tolerance of its recorded baseline, the
+  geometric run must be >= 3x faster than the recorded *linear* wall,
+  and geometric must converge wherever linear does with the same II
+  (its documented bound) in no more attempts.
 """
 
 from __future__ import annotations
@@ -49,6 +57,8 @@ BASELINE_PATH = (
 WORKBENCH_MACHINES = ("1-(GP8M4-REG64)", "4-(GP2M1-REG32)")
 #: Machine the stress phase runs on.
 STRESS_MACHINE = "1-(GP8M4-REG64)"
+#: II-search policies the stress phase measures (one run each).
+STRESS_POLICIES = ("linear", "geometric")
 #: The workbench phase is always the full 16-loop subset (see above).
 WORKBENCH_COUNT = 16
 
@@ -91,13 +101,13 @@ def measure_calibration(rounds: int = 5) -> float:
     return best
 
 
-def _run_suite(machine_name: str, loops) -> dict:
+def _run_suite(machine_name: str, loops, search: str | None = None) -> dict:
     """One timed, cache-free, sequential schedule_suite run."""
     machine = parse_config(machine_name)
     executor = SuiteExecutor(jobs=1, cache=False)
     started = time.perf_counter()
     run = schedule_suite(
-        machine, loops, scheduler="mirsc", executor=executor
+        machine, loops, scheduler="mirsc", executor=executor, search=search
     )
     wall = time.perf_counter() - started
     placements = sum(r.stats.nodes_scheduled for r in run.results)
@@ -110,7 +120,97 @@ def _run_suite(machine_name: str, loops) -> dict:
         "scheduling_seconds": round(run.sum_scheduling_seconds(), 3),
         "placements": placements,
         "placements_per_sec": round(placements / wall, 1) if wall else 0.0,
+        "per_loop": {
+            r.loop: {
+                "seconds": round(r.scheduling_seconds, 3),
+                "ii": r.ii,
+                "converged": r.converged,
+                "attempts": len(r.stats.search_trace),
+            }
+            for r in run.results
+        },
     }
+
+
+def _baseline_policy_norm(
+    section: dict, policy: str, stress_count: int
+) -> float | None:
+    """Baseline normalized stress wall of one policy over the prefix.
+
+    Stress suites are prefixes of one deterministic stream; per-loop
+    seconds let every subset size (CI uses ``REPRO_BENCH_LOOPS``)
+    compare against the same baseline.
+    """
+    entry = section.get(policy)
+    if entry is None:
+        return None
+    per_loop = entry.get("per_loop_seconds", {})
+    names = [f"stress{i}" for i in range(stress_count)]
+    if not all(name in per_loop for name in names):
+        return None
+    return sum(per_loop[name] for name in names) / section[
+        "calibration_seconds"
+    ]
+
+
+def _gate_policies(
+    section: dict | None,
+    policy_entries: dict[str, dict],
+    stress_count: int,
+    *,
+    tolerance: float,
+    payload: dict,
+) -> list[str]:
+    """The II-search policy gates (see module docstring)."""
+    failures: list[str] = []
+    linear = policy_entries["linear"]
+    geometric = policy_entries["geometric"]
+
+    # Always-on invariants: the geometric policy must converge wherever
+    # linear does, to the same II (its documented bound on the stress
+    # seeds), in no more attempts.
+    for name, lin in linear["per_loop"].items():
+        geo = geometric["per_loop"][name]
+        if geo["converged"] != lin["converged"]:
+            failures.append(
+                f"{name}: geometric converged={geo['converged']} but "
+                f"linear converged={lin['converged']}"
+            )
+        elif lin["converged"] and geo["ii"] != lin["ii"]:
+            failures.append(
+                f"{name}: geometric II {geo['ii']} != linear II {lin['ii']}"
+            )
+        if geo["attempts"] > lin["attempts"]:
+            failures.append(
+                f"{name}: geometric took {geo['attempts']} attempts vs "
+                f"linear's {lin['attempts']}"
+            )
+
+    if section is None:
+        return failures
+    base_lin = _baseline_policy_norm(section, "linear", stress_count)
+    if base_lin is not None:
+        lin_norm = linear["normalized_wall"]
+        regression = lin_norm / base_lin - 1.0
+        payload["stress"]["linear_regression_vs_baseline"] = round(
+            regression, 3
+        )
+        if regression > tolerance:
+            failures.append(
+                f"linear-policy stress wall regressed {regression:.0%} "
+                f"against the committed baseline (normalized {lin_norm} "
+                f"vs {base_lin:.1f}, tolerance {tolerance:.0%})"
+            )
+        geo_speedup = base_lin / geometric["normalized_wall"]
+        payload["stress"]["geometric_speedup_vs_baseline_linear"] = round(
+            geo_speedup, 1
+        )
+        if geo_speedup < 3.0:
+            failures.append(
+                f"geometric stress speedup vs the committed linear "
+                f"baseline fell below 3x (measured {geo_speedup:.2f}x)"
+            )
+    return failures
 
 
 def _load_baseline() -> dict | None:
@@ -168,19 +268,29 @@ def test_scheduler_throughput(table_sink):
 
     stress_count = max(2, loops_for(16) // 4)
     stress_loops = stress_suite(stress_count)
-    stress_entry = _run_suite(STRESS_MACHINE, stress_loops)
-    stress_entry["node_counts"] = [len(g) for g in stress_loops]
-    stress_entry["normalized_wall"] = round(
-        stress_entry["wall_seconds"] / calibration, 2
-    )
-    payload["stress"]["machines"].append(stress_entry)
+    policy_entries: dict[str, dict] = {}
+    for policy in STRESS_POLICIES:
+        entry = _run_suite(STRESS_MACHINE, stress_loops, search=policy)
+        entry["node_counts"] = [len(g) for g in stress_loops]
+        entry["normalized_wall"] = round(
+            entry["wall_seconds"] / calibration, 2
+        )
+        entry["policy"] = policy
+        policy_entries[policy] = entry
+        payload["stress"]["machines"].append(entry)
+    stress_entry = policy_entries["linear"]  # the paper-exact engine
     payload["stress"]["count"] = stress_count
+    payload["stress"]["policies"] = sorted(policy_entries)
 
     baseline = _load_baseline()
     if os.environ.get("REPRO_BENCH_REQUIRE_BASELINE"):
         assert baseline is not None, (
             f"committed baseline {BASELINE_PATH} is missing; the "
             "regression/speedup gates would silently become no-ops"
+        )
+        assert baseline.get("ii_search"), (
+            f"committed baseline {BASELINE_PATH} has no ii_search "
+            "section; the policy gates would silently become no-ops"
         )
     regression_failure = None
     speedup_failure = None
@@ -239,6 +349,14 @@ def test_scheduler_throughput(table_sink):
                     f"below 2x (measured {speedup:.2f}x)"
                 )
 
+    policy_failures = _gate_policies(
+        baseline.get("ii_search") if baseline else None,
+        policy_entries,
+        stress_count,
+        tolerance=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        payload=payload,
+    )
+
     RESULTS_DIR.mkdir(exist_ok=True)
     out_path = RESULTS_DIR / "BENCH_scheduler.json"
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -256,14 +374,16 @@ def test_scheduler_throughput(table_sink):
         ])
     for entry in payload["stress"]["machines"]:
         rows.append([
-            "stress", entry["machine"], entry["loops"],
+            f"stress/{entry['policy']}", entry["machine"], entry["loops"],
             entry["converged"], entry["wall_seconds"],
             entry["normalized_wall"], entry["placements_per_sec"],
         ])
     note = (
         f"calibration {calibration * 1000:.0f} ms; "
         f"stress speedup vs pre-PR engine: "
-        f"{payload['stress'].get('speedup_vs_pre_pr', 'n/a')}x"
+        f"{payload['stress'].get('speedup_vs_pre_pr', 'n/a')}x; "
+        f"geometric II-search vs committed linear baseline: "
+        f"{payload['stress'].get('geometric_speedup_vs_baseline_linear', 'n/a')}x"
     )
     table_sink(
         "scheduler_throughput",
@@ -272,6 +392,7 @@ def test_scheduler_throughput(table_sink):
 
     assert regression_failure is None, regression_failure
     assert speedup_failure is None, speedup_failure
+    assert policy_failures == [], "; ".join(policy_failures)
     assert all(
         entry["placements"] > 0
         for entry in payload["workbench"]["machines"]

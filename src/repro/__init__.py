@@ -38,6 +38,14 @@ from repro.codegen.emitter import GeneratedCode, generate_code
 from repro.core.mirsc import Mirs, MirsC
 from repro.core.params import MirsParams
 from repro.core.result import ScheduleResult
+from repro.core.search import (
+    AttemptOutcome,
+    BisectionSearch,
+    GeometricPressureSearch,
+    IISearchPolicy,
+    LinearSearch,
+    OutcomeKind,
+)
 from repro.core.verify import verify_schedule
 from repro.errors import (
     AllocationError,
@@ -73,10 +81,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AllocationError",
+    "AttemptOutcome",
+    "BisectionSearch",
     "ClusterConfig",
     "ConfigError",
     "ConvergenceError",
     "DependenceGraph",
+    "GeometricPressureSearch",
+    "IISearchPolicy",
+    "LinearSearch",
+    "OutcomeKind",
     "DepKind",
     "Edge",
     "GeneratedCode",

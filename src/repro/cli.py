@@ -40,6 +40,7 @@ from repro import (
     generate_code,
     parse_config,
 )
+from repro.core.search import POLICIES
 from repro.eval.experiments import figure2_rows
 from repro.eval.pretty import format_kernel
 from repro.eval.reporting import render_table
@@ -119,7 +120,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         graph = _demo_graph()
     else:
         graph = build_loop(args.loop).graph
-    result = MirsC(machine).schedule(graph)
+    result = MirsC(machine, search=args.ii_search).schedule(graph)
     print(format_kernel(result))
     print()
     print(result.summary())
@@ -137,7 +138,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         graph = _demo_graph()
     else:
         graph = build_loop(args.loop).graph
-    result = MirsC(machine).schedule(graph)
+    result = MirsC(machine, search=args.ii_search).schedule(graph)
     # None: the environment decides (REPRO_CACHE_DIR opts in, as for
     # plain library calls elsewhere).
     report = run_differential(result, args.iterations, cache=None)
@@ -149,6 +150,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["iterations (requested -> run)",
          f"{sim.requested_iterations} -> {sim.iterations}"],
         ["II / stages / MVE", f"{sim.ii} / {sim.stage_count} / {sim.mve_factor}"],
+    ]
+    if sim.surplus_iterations:
+        rows.append([
+            "surplus source iterations",
+            f"{sim.surplus_iterations} (unroll x{sim.unroll_factor} does "
+            "not divide the source trip count)",
+        ])
+    rows += [
         ["useful cycles (measured)", sim.useful_cycles],
         ["useful cycles (analytic)", round(analytic.useful_cycles)],
         ["stall cycles (measured)", sim.stall_cycles],
@@ -183,7 +192,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     loops = cached_suite(args.loops)
     executor = SuiteExecutor(jobs=args.jobs, cache=not args.no_cache)
-    ours_run = schedule_suite(machine, loops, "mirsc", executor=executor)
+    ours_run = schedule_suite(
+        machine, loops, "mirsc", executor=executor, search=args.ii_search
+    )
     base_run = schedule_suite(machine, loops, "baseline", executor=executor)
     rows = []
     for loop, ours, base in zip(loops, ours_run.results, base_run.results):
@@ -255,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--config",
             default="2-(GP4M2-REG32)",
             help="machine configuration, e.g. '4-(GP2M1-REG16)'",
+        )
+        p.add_argument(
+            "--ii-search",
+            choices=sorted(POLICIES),
+            default="linear",
+            help="II-search policy for MIRS-C (default: the paper's "
+            "linear restart ladder)",
         )
         p.add_argument("--move-latency", type=int, default=1)
         p.add_argument(

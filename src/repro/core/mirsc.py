@@ -29,6 +29,7 @@ non-clustered variant - exposed as :class:`Mirs` for clarity.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 from repro.errors import ConvergenceError
@@ -37,7 +38,8 @@ from repro.cluster.selection import select_cluster
 from repro.core.params import MirsParams, max_ii_for
 from repro.core.result import ScheduleResult
 from repro.core.scheduling import schedule_node
-from repro.core.state import SchedulerState
+from repro.core.search import AttemptOutcome, OutcomeKind
+from repro.core.state import SchedulerState, SchedulerStats
 from repro.core.verify import verify_schedule
 from repro.graph.ddg import DepKind, DependenceGraph
 from repro.graph.mii import compute_mii
@@ -61,6 +63,11 @@ class MirsC:
             hitting the II cap raises :class:`ConvergenceError`; pass
             ``strict=False`` (as the parameter-ablation benchmarks do) to
             get a ``converged=False`` result instead.
+        search: II-search policy — a registered name (``"linear"``,
+            ``"geometric"``, ``"bisection"``) or an
+            :class:`~repro.core.search.IISearchPolicy` instance.
+            Overrides ``params.ii_search``; the default is the paper's
+            linear ladder.
     """
 
     def __init__(
@@ -69,37 +76,62 @@ class MirsC:
         params: MirsParams | None = None,
         verify: bool = True,
         strict: bool = True,
+        search=None,
     ):
         self.machine = machine
         self.params = params or MirsParams()
+        if search is not None:
+            self.params = dataclasses.replace(self.params, ii_search=search)
         self.verify = verify
         self.strict = strict
+        self._bound_churn = self.params.effective_bound_eject_churn()
 
     # ------------------------------------------------------------------
 
     def schedule(self, graph: DependenceGraph) -> ScheduleResult:
-        """Schedule one loop; always converges (spilling guarantees it)."""
+        """Schedule one loop; always converges (spilling guarantees it).
+
+        The II ladder is driven by the configured
+        :class:`~repro.core.search.IISearchPolicy`: each attempt's
+        :class:`~repro.core.search.AttemptOutcome` is fed back to the
+        policy, which names the next II (or ends the search).  The
+        lowest II whose attempt scheduled wins — its verified state is
+        retained even when the policy goes on probing (bisection), so
+        the accepted schedule never needs a re-run.  The full
+        ``(ii, outcome)`` trace lands in ``result.stats.search_trace``.
+        """
         started = time.perf_counter()
         pristine = graph.clone()
         ordering = hrms_order(pristine, self.machine)
         mii = compute_mii(pristine, self.machine)
         limit = max_ii_for(mii, len(pristine), self.params)
+        policy = self.params.make_search_policy()
 
-        ii = mii
-        restarts = 0
-        while ii <= limit:
-            state = self._attempt(pristine.clone(), ii, ordering.priority)
-            if state is not None:
-                result = self._finalize(
-                    state, mii, restarts, time.perf_counter() - started
-                )
-                return result
-            restarts += 1
-            ii = max(ii + 1, self._suggested_ii)
+        best: SchedulerState | None = None
+        trace: list[AttemptOutcome] = []
+        attempted: set[int] = set()
+        ii = policy.first_ii(mii, limit)
+        while ii is not None and mii <= ii <= limit and ii not in attempted:
+            attempted.add(ii)
+            state, outcome = self._attempt(
+                pristine.clone(), ii, ordering.priority
+            )
+            trace.append(outcome)
+            if state is not None and (best is None or state.ii < best.ii):
+                best = state
+            ii = policy.next_ii(outcome)
+
+        if best is not None:
+            # restarts counts the attempts that did not produce the
+            # accepted schedule (= failed attempts under linear search).
+            return self._finalize(
+                best, mii, len(trace) - 1, time.perf_counter() - started,
+                trace,
+            )
         if self.strict:
             raise ConvergenceError(
                 f"MIRS-C failed to schedule {graph.name} within II <= {limit}",
-                last_ii=ii,
+                last_ii=trace[-1].ii if trace else mii,
             )
         return ScheduleResult(
             loop=pristine.name,
@@ -107,45 +139,101 @@ class MirsC:
             converged=False,
             ii=limit,
             mii=mii,
-            restarts=restarts,
+            restarts=len(trace),
             scheduling_seconds=time.perf_counter() - started,
+            stats=SchedulerStats(
+                search_trace=[o.as_trace_entry() for o in trace]
+            ),
             trip_count=pristine.trip_count,
         )
 
     # ------------------------------------------------------------------
+
+    def _pressure_deficit(self, state: SchedulerState) -> dict[int, int]:
+        """Per-cluster ``MaxLive - AR`` (positive entries only)."""
+        available = state.machine.cluster.registers
+        if available is None:
+            return {}
+        return {
+            cluster: live - available
+            for cluster, live in sorted(state.pressure.max_live_all().items())
+            if live > available
+        }
+
+    def _outcome(
+        self, state: SchedulerState, kind: OutcomeKind, final_rounds: int = 0
+    ) -> AttemptOutcome:
+        suggested = state.ii + 1
+        if kind is OutcomeKind.TRAFFIC_INFEASIBLE:
+            suggested = state.suggested_restart_ii()
+        return AttemptOutcome(
+            ii=state.ii,
+            kind=kind,
+            pressure_deficit=(
+                {} if kind is OutcomeKind.SCHEDULED
+                else self._pressure_deficit(state)
+            ),
+            registers_available=state.machine.cluster.registers,
+            budget_left=state.budget,
+            suggested_ii=suggested,
+            final_rounds=final_rounds,
+        )
 
     def _attempt(
         self,
         graph: DependenceGraph,
         ii: int,
         priorities: dict[int, float],
-    ) -> SchedulerState | None:
-        """One scheduling attempt at a fixed II; None requests a restart."""
+    ) -> tuple[SchedulerState | None, AttemptOutcome]:
+        """One scheduling attempt at a fixed II.
+
+        Returns ``(state, outcome)``; ``state`` is ``None`` when the
+        attempt failed, and ``outcome`` records which of the step-(6)
+        restart conditions fired (plus the measured pressure deficit).
+        """
         state = SchedulerState(graph, self.machine, ii, priorities, self.params)
-        self._suggested_ii = ii + 1
         final_rounds = 0
-        max_final_rounds = 3 * self.machine.clusters + 8
+        max_final_rounds = self.params.final_round_cap_for(
+            self.machine.clusters, len(graph)
+        )
         placements_since_check = 0
 
         while True:
             if state.pl.empty():
                 # Steps (4)+(5) in the drained regime: true register
                 # allocation, then spill/balance/eject until it fits.
-                acted = check_and_insert_spill(state, final=True)
+                acted = self._checked_spill(state, final=True)
                 if state.pl.empty():
                     if self._fits_registers(state):
-                        return state
+                        return state, self._outcome(
+                            state, OutcomeKind.SCHEDULED, final_rounds
+                        )
                     final_rounds += 1
-                    if not acted or final_rounds > max_final_rounds:
-                        return None
+                    if not acted:
+                        return None, self._outcome(
+                            state,
+                            OutcomeKind.REGISTER_INFEASIBLE,
+                            final_rounds,
+                        )
+                    if final_rounds > max_final_rounds:
+                        return None, self._outcome(
+                            state, OutcomeKind.ROUND_CAP, final_rounds
+                        )
                     continue
+                if self._churned_out(state, max_final_rounds):
+                    return None, self._outcome(
+                        state, OutcomeKind.ROUND_CAP, final_rounds
+                    )
 
             # Step (6): Restart_Schedule conditions.
             if state.budget <= 0:
-                return None
+                return None, self._outcome(
+                    state, OutcomeKind.BUDGET_EXHAUSTED, final_rounds
+                )
             if state.memory_traffic_infeasible():
-                self._suggested_ii = state.suggested_restart_ii()
-                return None
+                return None, self._outcome(
+                    state, OutcomeKind.TRAFFIC_INFEASIBLE, final_rounds
+                )
 
             # Step (2): pick the highest-priority node.
             node_id = state.pl.pop()
@@ -188,8 +276,50 @@ class MirsC:
                 or state.pl.empty()
             ):
                 placements_since_check = 0
-                check_and_insert_spill(state, final=False)
+                self._checked_spill(state, final=False)
+                if self._churned_out(state, max_final_rounds):
+                    return None, self._outcome(
+                        state, OutcomeKind.ROUND_CAP, final_rounds
+                    )
             state.budget -= 1
+
+    # ------------------------------------------------------------------
+
+    def _checked_spill(self, state: SchedulerState, *, final: bool) -> bool:
+        """Run the spill check, tracking eject-only churn when bounded.
+
+        With ``bound_eject_churn`` off (the paper-exact default) this is
+        exactly ``check_and_insert_spill``.  With it on, consecutive
+        checks whose only action was a critical-row ejection are
+        counted: an eject-and-replace cycle makes no measurable
+        progress (no spill, no balance move — the victim goes straight
+        back to the slot pool), yet the paper's driver bounds it only
+        by the restart budget, which takes thousands of placements to
+        drain.  The counter resets whenever a check spills or balances.
+        """
+        if not self._bound_churn:
+            return check_and_insert_spill(state, final=final)
+        stats = state.stats
+        progress_before = (
+            stats.spill_stores_added + stats.spill_loads_added
+            + stats.invariant_spills + stats.balance_shifts
+        )
+        ejections_before = stats.ejections
+        acted = check_and_insert_spill(state, final=final)
+        if acted:
+            progressed = (
+                stats.spill_stores_added + stats.spill_loads_added
+                + stats.invariant_spills + stats.balance_shifts
+            ) != progress_before
+            if progressed:
+                state.eject_churn_run = 0
+            elif stats.ejections > ejections_before:
+                state.eject_churn_run += 1
+        return acted
+
+    def _churned_out(self, state: SchedulerState, cap: int) -> bool:
+        """True when bounded eject-only churn exceeded the round cap."""
+        return self._bound_churn and state.eject_churn_run > cap
 
     # ------------------------------------------------------------------
 
@@ -267,9 +397,12 @@ class MirsC:
         mii: int,
         restarts: int,
         elapsed: float,
+        trace: list[AttemptOutcome] | None = None,
     ) -> ScheduleResult:
         graph = state.graph
         schedule = state.schedule
+        if trace is not None:
+            state.stats.search_trace = [o.as_trace_entry() for o in trace]
         # Batch role: the result is summarised with a from-scratch
         # analysis (and the tracker stops observing the finished graph).
         state.pressure.detach()
@@ -342,10 +475,14 @@ class Mirs(MirsC):
         params: MirsParams | None = None,
         verify: bool = True,
         strict: bool = True,
+        search=None,
     ):
         if machine.clusters != 1:
             raise SchedulingError(
                 "Mirs targets unified (single-cluster) machines; "
                 "use MirsC for clustered configurations"
             )
-        super().__init__(machine, params=params, verify=verify, strict=strict)
+        super().__init__(
+            machine, params=params, verify=verify, strict=strict,
+            search=search,
+        )

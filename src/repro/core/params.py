@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.core.search import canonical_search, make_policy
 from repro.errors import ConfigError
 
 
@@ -53,6 +54,24 @@ class MirsParams:
     #: conflicting node (the policy of [6, 16, 28]); the ablation bench
     #: flips this.
     eject_all: bool = False
+    #: II-search policy: a registered name (``"linear"``,
+    #: ``"geometric"``, ``"bisection"``) or an
+    #: :class:`~repro.core.search.IISearchPolicy` instance.  Part of the
+    #: scheduling problem's identity: it participates in
+    #: :meth:`canonical` and therefore in the ``exec`` cache keys.
+    ii_search: object = "linear"
+    #: Cap on drained-regime spill/allocate rounds per attempt; ``None``
+    #: derives ``3 * clusters + 8 + nodes // 8`` (see
+    #: :meth:`final_round_cap_for`) so very large loops get
+    #: proportionally more rounds before the attempt is abandoned.
+    final_round_cap: int | None = None
+    #: Bound consecutive eject-only spill-check rounds by the round cap
+    #: (ending the attempt with the ``ROUND_CAP`` outcome) instead of
+    #: letting the eject-and-replace cycle drain the restart budget.
+    #: ``None`` defers to the search policy (the paper-exact
+    #: ``LinearSearch`` leaves it off; the jumping policies turn it on —
+    #: see :mod:`repro.core.search`).
+    bound_eject_churn: bool | None = None
 
     def __post_init__(self) -> None:
         if self.budget_ratio < 1:
@@ -61,15 +80,51 @@ class MirsParams:
             raise ConfigError("spill gauge must be >= 1 (Section 3.2.3)")
         if self.min_span_gauge < 0 or self.distance_gauge < 0:
             raise ConfigError("gauges must be non-negative")
+        if self.final_round_cap is not None and self.final_round_cap < 1:
+            raise ConfigError("final round cap must be at least 1")
+        make_policy(self.ii_search)  # fail fast on unknown policies
+
+    def make_search_policy(self):
+        """A policy instance for one search (see :mod:`repro.core.search`)."""
+        return make_policy(self.ii_search)
+
+    def effective_bound_eject_churn(self) -> bool:
+        """Resolve the churn bound against the search policy's default."""
+        if self.bound_eject_churn is not None:
+            return self.bound_eject_churn
+        return bool(
+            getattr(make_policy(self.ii_search), "bound_eject_churn", False)
+        )
+
+    def final_round_cap_for(self, clusters: int, node_count: int) -> int:
+        """Drained-regime round cap for one attempt.
+
+        The historical constant ``3 * clusters + 8`` starved very large
+        loops: each round spills or ejects a single section, so a
+        300-node loop whose MaxLive sits far above AR runs out of
+        rounds while still making progress (ROADMAP's stress2
+        non-convergence).  The derived cap grows with the loop size;
+        setting :attr:`final_round_cap` pins it explicitly.
+        """
+        if self.final_round_cap is not None:
+            return self.final_round_cap
+        return 3 * clusters + 8 + node_count // 8
 
     def canonical(self) -> dict:
         """A stable, JSON-serializable form (cache keys, reports).
 
-        All fields are plain scalars, so ``asdict`` is already canonical;
-        kept as a method so new non-scalar fields must make an explicit
-        encoding decision here rather than silently breaking cache keys.
+        Every field is a plain scalar except the search policy, which
+        contributes its own :meth:`~repro.core.search.IISearchPolicy.canonical`
+        form; new non-scalar fields must make an explicit encoding
+        decision here rather than silently breaking cache keys.
         """
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        payload["ii_search"] = canonical_search(self.ii_search)
+        # The resolved value is the semantic one: leaving the tri-state
+        # None in the key would alias "policy default" with whichever
+        # explicit setting happens to match it.
+        payload["bound_eject_churn"] = self.effective_bound_eject_churn()
+        return payload
 
 
 def max_ii_for(mii: int, node_count: int, params: MirsParams) -> int:

@@ -41,6 +41,12 @@ class SchedulerStats:
     invariant_spills: int = 0
     balance_shifts: int = 0
     nodes_scheduled: int = 0
+    #: Full II-search trace: one entry per attempt, in attempt order
+    #: (:meth:`repro.core.search.AttemptOutcome.as_trace_entry` dicts).
+    #: Diagnostic, like ``scheduling_seconds``: excluded from result
+    #: fingerprints so the default policy stays fingerprint-identical
+    #: to the pre-policy scheduler.
+    search_trace: list[dict] = dataclasses.field(default_factory=list)
 
 
 class SchedulerState:
@@ -77,6 +83,9 @@ class SchedulerState:
         # Memory operations are counted incrementally: spill insertion is
         # the only way the count grows (moves are not memory operations).
         self._mem_ops = sum(1 for n in graph.nodes() if n.kind.is_memory)
+        #: Consecutive eject-only spill-check rounds (maintained by the
+        #: driver when ``MirsParams.bound_eject_churn`` resolves on).
+        self.eject_churn_run = 0
 
     # ------------------------------------------------------------------
     # Ejection (the backtracking primitive)

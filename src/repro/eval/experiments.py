@@ -10,7 +10,7 @@ reproduction compares with the paper's published numbers.
 from __future__ import annotations
 
 from repro.core.params import MirsParams
-from repro.eval.runner import SuiteRun, schedule_suite
+from repro.eval.runner import SuiteRun, schedule_suite, with_search
 from repro.exec.engine import SuiteExecutor
 from repro.machine.config import (
     parse_config,
@@ -77,9 +77,11 @@ def table1_rows(
     move_latencies: tuple[int, ...] = (1, 3),
     params: MirsParams | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Table 1: unbounded registers - schedule quality head to head."""
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     headers = [
         "k", "Lm", "loops", "not different", "different",
         "sum II [31]", "sum II MIRS-C", "II ratio",
@@ -115,9 +117,11 @@ def table2_rows(
     total_registers: int = 64,
     params: MirsParams | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Table 2: register files constrained to k x z = 64 in total."""
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     headers = [
         "k", "Lm", "not cnvr [31]", "different",
         "sum II [31]", "sum II MIRS-C", "II ratio",
@@ -157,6 +161,7 @@ def table3_rows(
     move_latencies: tuple[int, ...] = (1, 3),
     params: MirsParams | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Table 3: scheduling time of [31] vs MIRS-C.
 
@@ -166,6 +171,7 @@ def table3_rows(
     MIRS-C also pays for the loops [31] gives up on.
     """
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     configs: list[tuple[int, int | None]] = [
         (1, None), (1, 64), (2, None), (2, 32), (4, None), (4, 16),
     ]
@@ -210,10 +216,12 @@ def figure5_rows(
     params: MirsParams | None = None,
     technology: TechnologyModel | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Figure 5: execution cycles, memory traffic and execution time."""
     technology = technology or TechnologyModel()
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     headers = [
         "Lm", "k", "regs/cluster",
         "exec cycles (M)", "memory ops (M)", "exec time (ms)",
@@ -258,9 +266,11 @@ def figure6_rows(
     bus_counts: tuple[int | None, ...] = (2, 3, 4, None),
     params: MirsParams | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Figure 6: replicate a GP2M1-REG32 cluster k times, sweep buses."""
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     headers = ["buses", "k", "sum cycles (M)", "speedup vs k=1"]
     rows: list[list] = []
     for buses in bus_counts:
@@ -300,6 +310,7 @@ def simulator_rows(
     iterations: int = 50,
     params: MirsParams | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Measured (simulated) vs analytic (memsim) cycles per loop.
 
@@ -318,6 +329,7 @@ def simulator_rows(
     from repro.sim import run_differential
 
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     cache = executor.cache if executor.cache is not None else False
     memory = MemoryModel()
     headers = [
@@ -366,11 +378,13 @@ def figure7_rows(
     params: MirsParams | None = None,
     technology: TechnologyModel | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> Rows:
     """Figure 7: useful/stall cycles and execution time, with and without
     selective binding prefetching."""
     technology = technology or TechnologyModel()
     executor = executor or SuiteExecutor()
+    params = with_search(params, search)
     memory = MemoryModel(technology)
     headers = [
         "mode", "k", "regs/cluster",

@@ -11,6 +11,19 @@ from repro.exec.engine import SuiteExecutor, int_env
 from repro.machine.config import MachineConfig
 from repro.workloads.perfect import SuiteLoop, cached_suite
 
+
+def with_search(params: MirsParams | None, search) -> MirsParams | None:
+    """Fold an II-search spec into a parameter set.
+
+    ``search`` is a registered policy name or an
+    :class:`~repro.core.search.IISearchPolicy` instance; ``None`` leaves
+    ``params`` untouched (including the ``params is None`` "defaults"
+    case, which the exec cache keys treat as ``MirsParams()``).
+    """
+    if search is None:
+        return params
+    return dataclasses.replace(params or MirsParams(), ii_search=search)
+
 #: Environment variable selecting the workbench subset size used by the
 #: benchmarks (the full paper-scale run uses REPRO_BENCH_LOOPS=1258).
 LOOPS_ENV = "REPRO_BENCH_LOOPS"
@@ -97,6 +110,7 @@ def schedule_suite(
     jobs: int | None = None,
     cache: ResultCache | bool | None = None,
     executor: SuiteExecutor | None = None,
+    search=None,
 ) -> SuiteRun:
     """Run one scheduler over a workbench subset.
 
@@ -116,7 +130,11 @@ def schedule_suite(
             :func:`repro.exec.cache.resolve_cache`).
         executor: a pre-built executor; overrides ``jobs``/``cache`` and
             accumulates stats across calls.
+        search: II-search policy (name or instance) folded into
+            ``params``; participates in the cache keys like any other
+            parameter.
     """
+    params = with_search(params, search)
     if executor is None:
         executor = SuiteExecutor(jobs=jobs, cache=cache)
     results = executor.run(

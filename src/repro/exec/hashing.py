@@ -100,6 +100,12 @@ def canonical_graph(graph: DependenceGraph) -> dict:
     return {
         "name": graph.name,
         "trip_count": graph.trip_count,
+        # Iteration-space provenance: two unrollings can produce the
+        # same body and trip count from *different* source loops (e.g.
+        # trips 10 and 12 both unroll by 3 into trip 4), and the
+        # simulator's surplus-iteration reporting depends on the
+        # difference — so it must split the cache key.
+        "unroll": [graph.unroll_factor, graph.source_trip_count],
         "nodes": nodes,
         "edges": edges,
         "invariants": invariants,
@@ -161,11 +167,17 @@ def simulation_cache_key(
 def result_fingerprint(result: ScheduleResult) -> str:
     """Digest of every deterministic field of a schedule result.
 
-    Wall-clock timing (``scheduling_seconds``) is excluded: two runs of
-    the same deterministic scheduler agree on everything else, and the
-    parallel-vs-sequential and cache-vs-fresh equivalence tests compare
-    exactly this fingerprint.
+    Wall-clock timing (``scheduling_seconds``) and the II-search trace
+    (``stats.search_trace``) are excluded: the trace is diagnostic (it
+    records *how* the II was found, not the schedule), and keeping it
+    out lets the default :class:`~repro.core.search.LinearSearch`
+    produce fingerprints bit-identical to the pre-policy scheduler's.
+    Two runs of the same deterministic scheduler agree on every
+    included field, and the parallel-vs-sequential and cache-vs-fresh
+    equivalence tests compare exactly this fingerprint.
     """
+    stats = dataclasses.asdict(result.stats)
+    stats.pop("search_trace", None)
     payload = {
         "loop": result.loop,
         "machine": result.machine.canonical(),
@@ -181,7 +193,7 @@ def result_fingerprint(result: ScheduleResult) -> str:
         "move_operations": result.move_operations,
         "stage_count": result.stage_count,
         "restarts": result.restarts,
-        "stats": dataclasses.asdict(result.stats),
+        "stats": stats,
         "trip_count": result.trip_count,
         "graph": None if result.graph is None else canonical_graph(result.graph),
     }

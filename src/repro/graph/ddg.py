@@ -190,6 +190,12 @@ class DependenceGraph:
         #: consumers that reason about iteration-space semantics (the
         #: execution simulator, reporting) read it off the graph.
         self.unroll_factor = 1
+        #: Trip count of the *source* loop before any unrolling.  When
+        #: ``trip_count * unroll_factor != source_trip_count`` the
+        #: unroll factor did not divide the source trip count and a full
+        #: execution runs surplus source iterations; the simulator
+        #: reports the difference (``repro.sim``).
+        self.source_trip_count = trip_count
         self._nodes: dict[int, Node] = {}
         self._out: dict[int, list[Edge]] = {}
         self._in: dict[int, list[Edge]] = {}
@@ -379,6 +385,7 @@ class DependenceGraph:
         """
         copy = DependenceGraph(name=self.name, trip_count=self.trip_count)
         copy.unroll_factor = self.unroll_factor
+        copy.source_trip_count = self.source_trip_count
         for node in self._nodes.values():
             copy.add_node(node.clone())
         for edge in self.edges():

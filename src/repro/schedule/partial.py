@@ -27,6 +27,11 @@ class PartialSchedule:
         self._time: dict[int, int] = {}
         self._cluster: dict[int, int] = {}
         self._seq: dict[int, int] = {}
+        #: MRT-row index: row -> {node id -> cluster}, in placement
+        #: order (insertion-ordered dicts), maintained on place/eject so
+        #: the spill-eject fallback is O(nodes in the row) instead of
+        #: O(all scheduled nodes) per ejection decision.
+        self._rows: dict[int, dict[int, int]] = {}
         self._counter = itertools.count()
         # Survives ejections (but not II restarts): the cycle each node
         # occupied the last time it was scheduled.
@@ -68,13 +73,19 @@ class PartialSchedule:
         return self.time(node_id) % self.ii
 
     def nodes_in_row(self, row: int, cluster: int | None = None) -> list[int]:
-        """Ids of scheduled nodes issuing in the given MRT row."""
-        return [
-            node_id
-            for node_id, t in self._time.items()
-            if t % self.ii == row
-            and (cluster is None or self._cluster[node_id] == cluster)
-        ]
+        """Ids of scheduled nodes issuing in the given MRT row.
+
+        Served from the maintained row index (placement order), so the
+        cost is proportional to the row's population — this is the hot
+        query of the critical-row ejection fallback, which used to scan
+        every scheduled node per ejection decision.
+        """
+        members = self._rows.get(row)
+        if not members:
+            return []
+        if cluster is None:
+            return list(members)
+        return [n for n, c in members.items() if c == cluster]
 
     def span(self) -> tuple[int, int]:
         """(min, max) issue cycles of the schedule (0, 0 when empty)."""
@@ -106,6 +117,7 @@ class PartialSchedule:
         self._time[node.id] = cycle
         self._cluster[node.id] = cluster
         self._seq[node.id] = next(self._counter)
+        self._rows.setdefault(cycle % self.ii, {})[node.id] = cluster
         self.prev_cycle[node.id] = cycle
         for listener in self.listeners:
             listener.on_place(node, cluster, cycle)
@@ -121,6 +133,7 @@ class PartialSchedule:
         self.mrt.remove(node_id)
         old = (self._cluster.pop(node_id), self._time.pop(node_id))
         del self._seq[node_id]
+        del self._rows[old[1] % self.ii][node_id]
         for listener in self.listeners:
             listener.on_eject(node_id)
         return old

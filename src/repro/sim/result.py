@@ -54,6 +54,15 @@ class SimulationResult:
         cache_hits / cache_misses: lockup-free cache accesses.
         state_digest: digest of the (node, iteration) values and final
             memory, for bit-for-bit comparison with the reference run.
+        unroll_factor: unroll factor of the executed graph — each
+            executed iteration covers this many *source* iterations.
+        surplus_iterations: source iterations a full execution runs
+            beyond the source loop's trip count because the unroll
+            factor does not divide it (the unrolled loop has no
+            epilogue; :func:`repro.workloads.unroll.unroll` warns at
+            transform time, this field reports it at simulation time).
+            0 when the factor divides, when the graph is not unrolled,
+            or when fewer than ``trip_count`` iterations were run.
     """
 
     loop: str
@@ -72,6 +81,8 @@ class SimulationResult:
     cache_hits: int
     cache_misses: int
     state_digest: str
+    unroll_factor: int = 1
+    surplus_iterations: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -102,9 +113,15 @@ class SimulationResult:
         return self.moves / self.useful_cycles
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.loop} on {self.machine}: {self.iterations} iterations, "
             f"II={self.ii}, useful={self.useful_cycles} "
             f"stall={self.stall_cycles} "
             f"(IPC {self.ipc:.2f}, miss rate {self.miss_rate:.1%})"
         )
+        if self.surplus_iterations:
+            text += (
+                f" [non-dividing unroll x{self.unroll_factor}: "
+                f"{self.surplus_iterations} surplus source iteration(s)]"
+            )
+        return text

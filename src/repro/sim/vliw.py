@@ -273,6 +273,17 @@ class VliwSimulator:
             useful += 1
             clock += 1
 
+        graph = self.schedule.graph
+        # Surplus source iterations become observable only when the run
+        # covers the loop's whole trip count (the unrolled loop has no
+        # epilogue, so its last iteration executes every replica).
+        surplus = 0
+        if graph is not None and n_iterations >= graph.trip_count:
+            surplus = max(
+                0,
+                graph.trip_count * graph.unroll_factor
+                - graph.source_trip_count,
+            )
         result = SimulationResult(
             loop=self.schedule.loop,
             machine=self.schedule.machine.name,
@@ -281,6 +292,8 @@ class VliwSimulator:
             mve_factor=mve,
             requested_iterations=iterations,
             iterations=n_iterations,
+            unroll_factor=1 if graph is None else graph.unroll_factor,
+            surplus_iterations=surplus,
             useful_cycles=useful,
             stall_cycles=stalls,
             instructions=instructions,

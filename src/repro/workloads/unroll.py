@@ -63,6 +63,7 @@ def unroll(
         trip_count=max(1, math.ceil(graph.trip_count / factor)),
     )
     result.unroll_factor = factor * graph.unroll_factor
+    result.source_trip_count = graph.source_trip_count
     # node id -> list of replica nodes
     replicas: dict[int, list] = {}
     for node in sorted(graph.nodes(), key=lambda n: n.id):

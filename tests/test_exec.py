@@ -180,6 +180,29 @@ class TestCacheKeys:
         assert base != cache_key(graph, MACHINE, None, "baseline")
         assert base != cache_key(LOOPS[1].graph, MACHINE, None, "mirsc")
 
+    def test_key_changes_with_unroll_provenance(self):
+        """Different source loops can unroll into the same body and trip
+        count (trips 10 and 12 both unroll by 3 into trip 4); the
+        simulator's surplus-iteration reporting depends on the source
+        trip, so the keys must not alias."""
+        import warnings
+
+        from repro import LoopBuilder
+        from repro.workloads.unroll import unroll
+
+        def unrolled(trip):
+            b = LoopBuilder("prov", trip_count=trip)
+            b.store(b.add(b.load(array=0)), array=1)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                return unroll(b.build(), 3)
+
+        a, b = unrolled(10), unrolled(12)
+        assert a.trip_count == b.trip_count == 4
+        assert cache_key(a, MACHINE, None, "mirsc") != cache_key(
+            b, MACHINE, None, "mirsc"
+        )
+
 
 class TestResolvers:
     def test_resolve_jobs(self, monkeypatch):

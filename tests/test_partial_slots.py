@@ -69,6 +69,56 @@ class TestPartialSchedule:
         assert schedule.span() == (0, 9)
         assert schedule.stage_count() == 3
 
+    def test_row_index_matches_brute_force(self):
+        """The per-(row, cluster) index must agree with a full scan
+        through arbitrary place/eject/forget sequences."""
+        import random
+
+        machine = parse_config("4-(GP2M1-REG32)")
+        b = LoopBuilder("many")
+        for i in range(24):
+            b.add(b.load(array=i))
+        graph = b.build()
+        nodes = sorted(graph.nodes(), key=lambda n: n.id)
+        rng = random.Random(1234)
+        ii = 5
+        schedule = PartialSchedule(machine, ii=ii)
+        placed: dict[int, tuple[int, int]] = {}
+
+        def brute(row, cluster=None):
+            return [
+                nid
+                for nid, (t, c) in placed.items()
+                if t % ii == row and (cluster is None or c == cluster)
+            ]
+
+        for _ in range(400):
+            if placed and rng.random() < 0.45:
+                victim = rng.choice(sorted(placed))
+                if rng.random() < 0.2:
+                    schedule.forget(victim)
+                else:
+                    schedule.eject(victim)
+                del placed[victim]
+            else:
+                free = [n for n in nodes if n.id not in placed]
+                if not free:
+                    continue
+                node = rng.choice(free)
+                cluster = rng.randrange(machine.clusters)
+                cycle = rng.randrange(4 * ii)
+                try:
+                    schedule.place(node, cluster, cycle)
+                except SchedulingError:
+                    continue  # MRT conflict: nothing changed
+                placed[node.id] = (cycle, cluster)
+            row = rng.randrange(ii)
+            assert sorted(schedule.nodes_in_row(row)) == sorted(brute(row))
+            for cluster in range(machine.clusters):
+                assert sorted(schedule.nodes_in_row(row, cluster)) == sorted(
+                    brute(row, cluster)
+                )
+
 
 class TestDependenceWindow:
     def test_unconstrained_node(self, chain_graph):

@@ -320,3 +320,61 @@ class TestRunner:
         key_21 = simulation_cache_key(result, 21)
         assert key_20 != key_21
         assert key_20 == simulation_cache_key(result, 20)
+
+
+class TestSurplusIterations:
+    """Simulation-time reporting of non-dividing unroll semantics."""
+
+    def _unrolled_schedule(self, factor, trip_count):
+        import warnings
+
+        from repro.workloads.unroll import unroll
+
+        b = LoopBuilder("nondiv", trip_count=trip_count)
+        b.store(b.add(b.load(array=0)), array=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            graph = unroll(b.build(), factor)
+        return MirsC(UNIFIED).schedule(graph)
+
+    def test_non_dividing_unroll_reports_surplus(self):
+        # trip 10, factor 3 -> unrolled trip 4 covers 12 source
+        # iterations: 2 surplus.
+        schedule = self._unrolled_schedule(3, 10)
+        graph = schedule.graph
+        assert graph.unroll_factor == 3
+        assert graph.source_trip_count == 10
+        run = simulate(schedule, graph.trip_count)
+        assert run.result.unroll_factor == 3
+        assert run.result.surplus_iterations == 2
+        assert "surplus source iteration" in run.result.summary()
+
+    def test_dividing_unroll_reports_none(self):
+        schedule = self._unrolled_schedule(2, 10)
+        run = simulate(schedule, schedule.graph.trip_count)
+        assert run.result.unroll_factor == 2
+        assert run.result.surplus_iterations == 0
+        assert "surplus source iteration" not in run.result.summary()
+
+    def test_partial_run_reports_none(self):
+        # Below the loop's trip count the surplus is not executed.
+        schedule = self._unrolled_schedule(3, 1000)
+        run = simulate(schedule, 6)
+        assert run.result.surplus_iterations == 0
+
+    def test_clone_and_pickle_preserve_source_trip(self):
+        import pickle
+
+        from repro.workloads.unroll import unroll
+
+        b = LoopBuilder("keep", trip_count=9)
+        b.store(b.add(b.load(array=0)), array=1)
+        with pytest.warns(UserWarning):
+            graph = unroll(b.build(), 2)
+        assert graph.source_trip_count == 9
+        assert graph.clone().source_trip_count == 9
+        assert pickle.loads(pickle.dumps(graph)).source_trip_count == 9
+        # A second (dividing) unroll composes the factor, keeps the source.
+        again = unroll(graph, 5)
+        assert again.unroll_factor == 10
+        assert again.source_trip_count == 9
