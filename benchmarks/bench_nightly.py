@@ -1,0 +1,103 @@
+"""Nightly paper-scale suite run: throughput + register trajectories.
+
+Runs the full workbench (``REPRO_BENCH_LOOPS=1258`` in the nightly
+workflow - the paper's population; any smaller subset works for local
+smoke) on both reference machines through the suite-execution engine:
+the session executor fans scheduling out over ``REPRO_JOBS`` worker
+processes and memoizes results in the on-disk cache, so a re-run after
+an unrelated commit only schedules the loops whose inputs changed.
+
+Two trajectories land in ``benchmarks/results/BENCH_nightly.json`` for
+cross-commit diffing (the nightly workflow uploads the file as an
+artifact):
+
+* **placements/sec** - end-to-end scheduling throughput per machine;
+* **registers_used** - the per-loop register allocation (summed over
+  clusters, next to MaxLive), the observable the incremental
+  arc-colouring engine must keep bit-stable: any drift against the
+  previous night's artifact means the allocator changed behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import RESULTS_DIR, loops_for
+
+from repro.eval.reporting import render_table
+from repro.eval.runner import schedule_suite
+from repro.machine.config import parse_config
+from repro.workloads.perfect import cached_suite
+
+#: The paper's reference configurations (same pair bench_scheduler gates).
+MACHINES = ("1-(GP8M4-REG64)", "4-(GP2M1-REG32)")
+
+
+def test_nightly_paper_scale_suite(executor, table_sink):
+    count = loops_for(1258)
+    loops = cached_suite(count)
+    payload: dict = {"count": count, "machines": []}
+    rows = []
+    failures: list[str] = []
+    for machine_name in MACHINES:
+        machine = parse_config(machine_name)
+        started = time.perf_counter()
+        try:
+            run = schedule_suite(
+                machine, loops, scheduler="mirsc", executor=executor
+            )
+        except Exception as exc:  # e.g. a SchedulingError from a worker
+            failures.append(f"{machine_name}: {exc}")
+            continue
+        wall = time.perf_counter() - started
+        placements = sum(r.stats.nodes_scheduled for r in run.results)
+        entry = {
+            "machine": machine_name,
+            "loops": len(run.results),
+            "converged": len(run.converged),
+            "sum_ii": run.sum_ii(),
+            "wall_seconds": round(wall, 3),
+            "placements": placements,
+            "placements_per_sec": (
+                round(placements / wall, 1) if wall else 0.0
+            ),
+            "trajectory": {
+                r.loop: {
+                    "ii": r.ii,
+                    "registers_used": sum(r.register_usage.values()),
+                    "max_live": sum(r.max_live.values()),
+                }
+                for r in run.results
+            },
+        }
+        payload["machines"].append(entry)
+        rows.append([
+            machine_name, entry["loops"], entry["converged"],
+            entry["sum_ii"], entry["wall_seconds"],
+            entry["placements_per_sec"],
+        ])
+        # MIRS-C's contract: spilling makes every loop schedulable.
+        # Collected (not raised) so a failing night still writes and
+        # uploads the trajectories it exists to publish.
+        if len(run.converged) != len(run.results):
+            failures.append(
+                f"{machine_name}: "
+                f"{len(run.results) - len(run.converged)} loops failed "
+                f"to converge"
+            )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_nightly.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    table_sink(
+        "nightly_suite",
+        render_table(
+            f"Nightly paper-scale suite ({count} loops)",
+            ["machine", "loops", "conv", "sum II", "wall s", "plc/s"],
+            rows,
+            "trajectories (per-loop II / registers_used / MaxLive) in "
+            "BENCH_nightly.json",
+        ),
+    )
+    assert failures == [], "; ".join(failures)

@@ -29,6 +29,18 @@ across hosts of different speeds.  When the committed baseline
   geometric run must be >= 3x faster than the recorded *linear* wall,
   and geometric must converge wherever linear does with the same II
   (its documented bound) in no more attempts.
+
+A third phase instruments the drained-regime **register allocator**: an
+extra stress run replays every incremental
+:class:`~repro.schedule.colouring.IncrementalArcColouring` query against
+the batch ``allocate_registers`` oracle, side by side and call for
+call.  It fails on *any* ``registers_used`` mismatch between the two
+engines, or when the incremental path's per-call allocation time is
+less than 2x faster than batch over the whole run (the two walls are
+measured in the same process on the same calls, so no baseline or
+calibration is involved).  Per-loop rows also record ``registers_used``
+(summed over clusters), giving the nightly paper-scale run its register
+trajectory next to placements/sec.
 """
 
 from __future__ import annotations
@@ -126,6 +138,7 @@ def _run_suite(machine_name: str, loops, search: str | None = None) -> dict:
                 "ii": r.ii,
                 "converged": r.converged,
                 "attempts": len(r.stats.search_trace),
+                "registers_used": sum(r.register_usage.values()),
             }
             for r in run.results
         },
@@ -213,6 +226,101 @@ def _gate_policies(
     return failures
 
 
+def _measure_allocator(stress_loops) -> dict:
+    """Drained-regime allocation timing: incremental vs batch.
+
+    One extra (sequential, cache-free) stress run with every
+    ``IncrementalArcColouring.registers_used`` call wrapped: the
+    incremental answer is timed per call, and the batch oracle
+    (``allocate_registers`` over the live tracker - the pre-engine code
+    path) is timed **once per mutation epoch** - the pre-engine spill
+    check computed one all-cluster allocation per round and served
+    every cluster from it, so charging batch per *query* would inflate
+    its wall by the cluster count.  Each oracle run compares
+    ``registers_used`` of every cluster.  Returns accumulated walls,
+    call/oracle counts and any mismatches (the CI gate requires none,
+    and >= 2x aggregate speedup).
+    """
+    from repro.schedule import colouring as colouring_mod
+    from repro.schedule.regalloc import allocate_registers
+
+    stats = {
+        "calls": 0,
+        "oracle_runs": 0,
+        "incremental_seconds": 0.0,
+        "batch_seconds": 0.0,
+        "mismatches": [],
+    }
+    original = colouring_mod.IncrementalArcColouring.registers_used
+
+    def instrumented(self, cluster):
+        started = time.perf_counter()
+        used = original(self, cluster)
+        stats["incremental_seconds"] += time.perf_counter() - started
+        stats["calls"] += 1
+        epoch = self.events_seen
+        if getattr(self, "_bench_oracle_epoch", None) != epoch:
+            self._bench_oracle_epoch = epoch
+            started = time.perf_counter()
+            batch = allocate_registers(
+                self.graph,
+                self.schedule,
+                self.machine,
+                self.tracker,
+                spilled_invariants=self.tracker.spilled_invariants,
+            )
+            stats["batch_seconds"] += time.perf_counter() - started
+            stats["oracle_runs"] += 1
+            for check_cluster, allocation in batch.items():
+                got = (
+                    used
+                    if check_cluster == cluster
+                    else original(self, check_cluster)
+                )
+                if allocation.registers_used != got:
+                    stats["mismatches"].append(
+                        {
+                            "loop": self.graph.name,
+                            "cluster": check_cluster,
+                            "incremental": got,
+                            "batch": allocation.registers_used,
+                        }
+                    )
+        return used
+
+    colouring_mod.IncrementalArcColouring.registers_used = instrumented
+    try:
+        # Two populations: the stress loops (few, huge drained-regime
+        # problems - each batch replay walks hundreds of lifetimes) and
+        # the clustered workbench (many spill-heavy loops whose final
+        # regime queries the allocator every round), so the gate's call
+        # sample stays large even under the CI subset size.
+        executor = SuiteExecutor(jobs=1, cache=False)
+        schedule_suite(
+            parse_config(STRESS_MACHINE),
+            stress_loops,
+            scheduler="mirsc",
+            executor=executor,
+            search="geometric",
+        )
+        schedule_suite(
+            parse_config("4-(GP2M1-REG32)"),
+            cached_suite(WORKBENCH_COUNT),
+            scheduler="mirsc",
+            executor=executor,
+        )
+    finally:
+        colouring_mod.IncrementalArcColouring.registers_used = original
+    stats["incremental_seconds"] = round(stats["incremental_seconds"], 4)
+    stats["batch_seconds"] = round(stats["batch_seconds"], 4)
+    stats["speedup"] = (
+        round(stats["batch_seconds"] / stats["incremental_seconds"], 1)
+        if stats["incremental_seconds"]
+        else None
+    )
+    return stats
+
+
 def _load_baseline() -> dict | None:
     if not BASELINE_PATH.exists():
         return None
@@ -281,6 +389,24 @@ def test_scheduler_throughput(table_sink):
     stress_entry = policy_entries["linear"]  # the paper-exact engine
     payload["stress"]["count"] = stress_count
     payload["stress"]["policies"] = sorted(policy_entries)
+
+    # Drained-regime allocator phase: every incremental query replayed
+    # against the batch oracle, call for call (see module docstring).
+    allocator = _measure_allocator(stress_loops)
+    payload["allocator"] = allocator
+    allocator_failures: list[str] = []
+    if allocator["mismatches"]:
+        allocator_failures.append(
+            f"incremental colouring diverged from batch allocate_registers "
+            f"on {len(allocator['mismatches'])} of {allocator['calls']} "
+            f"calls; first: {allocator['mismatches'][0]}"
+        )
+    if allocator["speedup"] is not None and allocator["speedup"] < 2.0:
+        allocator_failures.append(
+            f"drained-regime allocation speedup fell below 2x "
+            f"(measured {allocator['speedup']}x over {allocator['calls']} "
+            f"calls)"
+        )
 
     baseline = _load_baseline()
     if os.environ.get("REPRO_BENCH_REQUIRE_BASELINE"):
@@ -383,7 +509,9 @@ def test_scheduler_throughput(table_sink):
         f"stress speedup vs pre-PR engine: "
         f"{payload['stress'].get('speedup_vs_pre_pr', 'n/a')}x; "
         f"geometric II-search vs committed linear baseline: "
-        f"{payload['stress'].get('geometric_speedup_vs_baseline_linear', 'n/a')}x"
+        f"{payload['stress'].get('geometric_speedup_vs_baseline_linear', 'n/a')}x; "
+        f"incremental allocator vs batch: {allocator['speedup']}x over "
+        f"{allocator['calls']} calls, {len(allocator['mismatches'])} mismatches"
     )
     table_sink(
         "scheduler_throughput",
@@ -393,6 +521,7 @@ def test_scheduler_throughput(table_sink):
     assert regression_failure is None, regression_failure
     assert speedup_failure is None, speedup_failure
     assert policy_failures == [], "; ".join(policy_failures)
+    assert allocator_failures == [], "; ".join(allocator_failures)
     assert all(
         entry["placements"] > 0
         for entry in payload["workbench"]["machines"]

@@ -141,6 +141,11 @@ class NonIterativeScheduler:
             for live in state.pressure.max_live_all().values()
         ):
             return False
+        if state.colouring is not None:
+            return all(
+                used <= available
+                for used in state.colouring.registers_used_all().values()
+            )
         allocations = allocate_registers(
             state.graph, state.schedule, state.machine, state.pressure
         )

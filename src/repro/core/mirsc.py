@@ -42,6 +42,7 @@ from repro.core.search import AttemptOutcome, OutcomeKind
 from repro.core.state import SchedulerState, SchedulerStats
 from repro.core.verify import verify_schedule
 from repro.graph.ddg import DepKind, DependenceGraph
+from repro.graph.latency import edge_latency
 from repro.graph.mii import compute_mii
 from repro.machine.config import MachineConfig
 from repro.machine.resources import OpKind
@@ -340,14 +341,30 @@ class MirsC:
         if not consumers:
             state.remove_move(move_id)
             return
+
         # The value must arrive where the consumer *reads* it: a consumer
         # that is itself a move (a chained communication) reads in its
         # declared source cluster, not in the cluster it executes in.
-        first = state.graph.node(consumers[0])
-        if first.is_move and first.src_cluster is not None:
-            dst_cluster = first.src_cluster
-        else:
-            dst_cluster = state.schedule.cluster(consumers[0])
+        def read_cluster(consumer_id: int) -> int:
+            consumer = state.graph.node(consumer_id)
+            if consumer.is_move and consumer.src_cluster is not None:
+                return consumer.src_cluster
+            return state.schedule.cluster(consumer_id)
+
+        dst_cluster = read_cluster(consumers[0])
+        # One move serves one destination cluster.  Consumers re-placed
+        # into *other* clusters while this move sat unscheduled would be
+        # silently left reading cross-cluster by whatever is decided
+        # below (removal reconnects them straight to the producer);
+        # eject them instead, so the ordinary Need_Move machinery
+        # re-creates their communication when they are picked up again.
+        # (Surfaced by the paper-scale suite: reduction loops on the
+        # clustered machines.)
+        for consumer_id in consumers[1:]:
+            if state.schedule.is_scheduled(consumer_id) and (
+                read_cluster(consumer_id) != dst_cluster
+            ):
+                state.eject_node(consumer_id)
         if move.move_of_invariant is None:
             producers = [
                 e.src
@@ -359,10 +376,45 @@ class MirsC:
                 return
             src_cluster = state.schedule.cluster(producers[0])
             if src_cluster == dst_cluster:
+                # Removal reconnects the (scheduled) consumers straight
+                # to the (scheduled) producer; while the move sat off
+                # schedule its chain imposed no timing constraint, so
+                # the merged direct edge may be violated at the current
+                # placements.  Eject such consumers - they re-place
+                # against the restored dependence.  (Also surfaced by
+                # the paper-scale suite.)
                 state.remove_move(move_id)
+                self._eject_violated_consumers(
+                    state, producers[0], consumers
+                )
                 return
             move.src_cluster = src_cluster
         schedule_node(state, move, dst_cluster)
+
+    def _eject_violated_consumers(
+        self, state: SchedulerState, producer: int, consumers: list[int]
+    ) -> None:
+        """Eject scheduled consumers whose direct edge from ``producer``
+        is violated (used after a move removal merges edges between
+        scheduled endpoints)."""
+        schedule = state.schedule
+        if not schedule.is_scheduled(producer):
+            return
+        start = schedule.time(producer)
+        ii = state.ii
+        for consumer_id in dict.fromkeys(consumers):
+            if consumer_id == producer:
+                continue
+            if not schedule.is_scheduled(consumer_id):
+                continue
+            consumer_time = schedule.time(consumer_id)
+            for edge in state.graph.out_edges(producer):
+                if edge.dst != consumer_id:
+                    continue
+                latency = edge_latency(state.graph, edge, state.machine)
+                if consumer_time - start - latency + ii * edge.distance < 0:
+                    state.eject_node(consumer_id)
+                    break
 
     # ------------------------------------------------------------------
 
@@ -379,6 +431,13 @@ class MirsC:
             for live in state.pressure.max_live_all().values()
         ):
             return False
+        if state.colouring is not None:
+            # Incremental path: per-cluster counts from the engine's
+            # caches (only clusters whose lifetimes changed recolour).
+            return all(
+                used <= available
+                for used in state.colouring.registers_used_all().values()
+            )
         allocations = allocate_registers(
             state.graph,
             state.schedule,

@@ -72,6 +72,13 @@ class MirsParams:
     #: ``LinearSearch`` leaves it off; the jumping policies turn it on —
     #: see :mod:`repro.core.search`).
     bound_eject_churn: bool | None = None
+    #: Serve the drained-regime register allocation from the
+    #: incremental :class:`~repro.schedule.colouring.IncrementalArcColouring`
+    #: engine (register-count-identical to the batch ``_colour_arcs``
+    #: path by construction - schedules are fingerprint-identical either
+    #: way).  Off runs the historical per-call batch allocation; kept as
+    #: the oracle for the differential tests and benchmarks.
+    incremental_colouring: bool = True
 
     def __post_init__(self) -> None:
         if self.budget_ratio < 1:

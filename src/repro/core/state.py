@@ -24,6 +24,7 @@ from repro.graph.ddg import DepKind, DependenceGraph
 from repro.machine.config import MachineConfig
 from repro.core.params import MirsParams
 from repro.core.priority import PriorityList
+from repro.schedule.colouring import IncrementalArcColouring
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.pressure import PressureTracker
 
@@ -80,6 +81,18 @@ class SchedulerState:
         self.pressure = PressureTracker(
             graph, self.schedule, machine, self.spilled_invariants
         )
+        #: Incremental wrap-around register colouring: mirrors the
+        #: tracker's lifetimes and serves the drained-regime register
+        #: allocation (``registers_used`` per cluster) from per-cluster
+        #: caches, register-count-identical to the batch ``_colour_arcs``
+        #: path.  ``None`` when the machine has no register limit (the
+        #: allocator verdict is never consulted) or the param turns the
+        #: engine off (the batch-oracle configuration).
+        self.colouring: IncrementalArcColouring | None = None
+        if params.incremental_colouring and machine.cluster.registers is not None:
+            self.colouring = IncrementalArcColouring(
+                graph, self.schedule, machine, self.pressure
+            )
         # Memory operations are counted incrementally: spill insertion is
         # the only way the count grows (moves are not memory operations).
         self._mem_ops = sum(1 for n in graph.nodes() if n.kind.is_memory)

@@ -17,6 +17,45 @@ from repro.schedule.mrt import ModuloReservationTable
 from repro.errors import SchedulingError
 
 
+def _instances_assignable(masks: list[int], capacity: int) -> bool:
+    """Exact test: can the row-masks be packed onto ``capacity`` instances?
+
+    Each instance may hold any set of pairwise-disjoint masks.  Single-row
+    masks reduce to the per-row capacity check the caller already ran;
+    multi-row masks (unpipelined operations) make this a small exact
+    cover search - backtracking over instances, most-constrained mask
+    first, with symmetric instance states deduplicated.  Problem sizes
+    are tiny (<= machine FU count instances, <= II-bit masks), so the
+    search is effectively instant; a step budget guards pathological
+    inputs and errs on the conservative (reject) side.
+    """
+    masks = sorted(masks, key=lambda m: -m.bit_count())
+    instances = [0] * capacity
+    budget = 1 << 20
+
+    def backtrack(index: int) -> bool:
+        nonlocal budget
+        if index == len(masks):
+            return True
+        budget -= 1
+        if budget <= 0:
+            return False
+        mask = masks[index]
+        seen: set[int] = set()
+        for slot in range(capacity):
+            occupancy = instances[slot]
+            if occupancy & mask or occupancy in seen:
+                continue
+            seen.add(occupancy)
+            instances[slot] = occupancy | mask
+            if backtrack(index + 1):
+                return True
+            instances[slot] = occupancy
+        return False
+
+    return backtrack(0)
+
+
 def verify_schedule(
     graph: DependenceGraph,
     machine: MachineConfig,
@@ -67,13 +106,20 @@ def verify_schedule(
                 f"(cluster {clusters[edge.dst]})"
             )
 
-    # Resources: replay every reservation into a fresh MRT.
+    # Resources: solve the instance assignment exactly.  A first-fit
+    # replay (what the scheduler's MRT does online) is order-dependent
+    # for multi-row reservations - an unpipelined divide holds one FU
+    # for its whole occupancy - so replaying a *valid* schedule in node
+    # id order can fail even though the scheduler held a conflict-free
+    # assignment while building it (surfaced by the paper-scale suite:
+    # div-heavy loops at 1258-loop scale).
     mrt = ModuloReservationTable(machine, ii)
+    demands: dict[tuple, list[tuple[int, int]]] = {}
     for node in sorted(graph.nodes(), key=lambda n: n.id):
         if node.id not in times or node.id not in clusters:
             continue
         try:
-            mrt.place(
+            groups = mrt.reservation_groups(
                 node,
                 clusters[node.id],
                 times[node.id],
@@ -81,6 +127,47 @@ def verify_schedule(
             )
         except SchedulingError as exc:
             violations.append(f"resource conflict: {exc}")
+            continue
+        if groups is None:
+            violations.append(
+                f"resource conflict: node {node.id} self-collides at "
+                f"II={ii} (occupancy exceeds the initiation interval)"
+            )
+            continue
+        for resource, target, rows in groups:
+            mask = 0
+            for row in rows:
+                mask |= 1 << row
+            demands.setdefault((resource, target), []).append(
+                (node.id, mask)
+            )
+    for (resource, target), items in sorted(
+        demands.items(), key=lambda kv: (kv[0][0].name, kv[0][1])
+    ):
+        capacity = mrt.instance_count(resource, target)
+        where = "interconnect" if target == -1 else f"cluster {target}"
+        # Per-row capacity: a necessary condition with a precise
+        # culprit list when it fails.
+        over_rows = []
+        for row in range(ii):
+            bit = 1 << row
+            users = [nid for nid, mask in items if mask & bit]
+            if len(users) > capacity:
+                over_rows.append((row, users))
+        if over_rows:
+            row, users = over_rows[0]
+            violations.append(
+                f"resource conflict: {len(users)} nodes {users} need "
+                f"{resource.name} of {where} in MRT row {row} but only "
+                f"{capacity} instances exist"
+            )
+            continue
+        if not _instances_assignable([m for _, m in items], capacity):
+            violations.append(
+                f"resource conflict: reservations on {resource.name} of "
+                f"{where} admit no conflict-free assignment onto "
+                f"{capacity} instances"
+            )
 
     # Register files.
     available = machine.cluster.registers

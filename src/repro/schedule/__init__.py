@@ -3,6 +3,7 @@
 from repro.schedule.mrt import ModuloReservationTable
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.slots import Direction, SlotWindow, dependence_window
+from repro.schedule.colouring import IncrementalArcColouring
 from repro.schedule.lifetimes import LifetimeAnalysis, UseSegment, ValueLifetime
 from repro.schedule.pressure import PressureTracker
 from repro.schedule.regalloc import RegisterAllocation, allocate_registers
@@ -13,6 +14,7 @@ __all__ = [
     "Direction",
     "SlotWindow",
     "dependence_window",
+    "IncrementalArcColouring",
     "LifetimeAnalysis",
     "PressureTracker",
     "UseSegment",

@@ -172,6 +172,29 @@ class ModuloReservationTable:
                 victims |= best
         return victims
 
+    def reservation_groups(
+        self,
+        node: Node,
+        cluster: int,
+        cycle: int,
+        src_cluster: int | None = None,
+    ) -> list[tuple[ResourceClass, int, list[int]]] | None:
+        """The node's resolved reservation groups at a placement.
+
+        Each ``(resource, cluster, rows)`` group must be satisfied by a
+        single resource instance free at all its rows; ``None`` means
+        the reservation collides with itself at this II.  Public for the
+        independent verifier, which solves the instance-assignment
+        problem exactly instead of replaying this table's first-fit
+        (whose success is placement-order-dependent for multi-row
+        reservations such as unpipelined divides).
+        """
+        return self._resolved_groups(node, cluster, cycle, src_cluster)
+
+    def instance_count(self, resource: ResourceClass, cluster: int) -> int:
+        """Physical instances backing a (resource, cluster) pool."""
+        return len(self._tables[(resource, cluster)])
+
     def occupancy_fraction(
         self, resource: ResourceClass, cluster: int
     ) -> float:

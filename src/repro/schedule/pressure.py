@@ -143,6 +143,13 @@ class PressureTracker:
         self._entries: dict[int, _Entry] = {}
         self._latency_cache: dict[OpKind, int] = {}
         self._lifetimes_cache: list[ValueLifetime] | None = None
+        #: Downstream observers of *lifetime* changes (the incremental
+        #: arc-colouring engine).  Each listener implements
+        #: ``on_lifetime_changed(node_id, old, new)`` where ``old``/``new``
+        #: are ``(cluster, start, end)`` tuples (``None`` for
+        #: untracked); notifications fire after this tracker's own state
+        #: changed, and only when the lifetime actually moved.
+        self.lifetime_listeners: list = []
         for node_id in schedule.scheduled_ids():
             self._refresh(node_id)
         graph._listeners.append(self)
@@ -171,6 +178,9 @@ class PressureTracker:
         if entry is not None:
             self._fold(entry.cluster, entry.start, entry.end, -1)
             self._lifetimes_cache = None
+            self._notify_lifetime(
+                node_id, (entry.cluster, entry.start, entry.end), None
+            )
         self._refresh_producers(node_id)
         if self.self_check:
             self.assert_matches_scratch()
@@ -194,6 +204,9 @@ class PressureTracker:
         if entry is not None:
             self._fold(entry.cluster, entry.start, entry.end, -1)
             self._lifetimes_cache = None
+            self._notify_lifetime(
+                node_id, (entry.cluster, entry.start, entry.end), None
+            )
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -228,6 +241,11 @@ class PressureTracker:
         O(out-degree) plus the O(II / row span) fold.
         """
         entry = self._entries.get(node_id)
+        old = (
+            (entry.cluster, entry.start, entry.end)
+            if entry is not None
+            else None
+        )
         if entry is not None:
             self._fold(entry.cluster, entry.start, entry.end, -1)
         times = self.schedule._time
@@ -236,6 +254,7 @@ class PressureTracker:
             if entry is not None:
                 del self._entries[node_id]
                 self._lifetimes_cache = None
+                self._notify_lifetime(node_id, old, None)
             return
         node = self.graph._nodes[node_id]
         if node.kind is OpKind.STORE:
@@ -256,6 +275,18 @@ class PressureTracker:
         self._entries[node_id] = _Entry(cluster, start, end, segments)
         self._fold(cluster, start, end, +1)
         self._lifetimes_cache = None
+        new = (cluster, start, end)
+        if new != old:
+            self._notify_lifetime(node_id, old, new)
+
+    def _notify_lifetime(
+        self,
+        node_id: int,
+        old: tuple[int, int, int] | None,
+        new: tuple[int, int, int] | None,
+    ) -> None:
+        for listener in self.lifetime_listeners:
+            listener.on_lifetime_changed(node_id, old, new)
 
     def _build_segments(
         self,

@@ -20,6 +20,7 @@ import dataclasses
 
 from repro.graph.ddg import DependenceGraph
 from repro.machine.config import MachineConfig
+from repro.schedule.colouring import arc_mask
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.partial import PartialSchedule
 
@@ -55,14 +56,6 @@ def _colour_arcs(
     """
     if not arcs:
         return 0, {}
-    # Row occupancy as II-bit integers: overlap tests are single AND ops.
-    full_mask = (1 << ii) - 1
-
-    def arc_mask(start: int, length: int) -> int:
-        base = (1 << length) - 1
-        start %= ii
-        return ((base << start) | (base >> (ii - start))) & full_mask
-
     density = [0] * ii
     for _, start, length in arcs:
         first = start % ii
@@ -81,10 +74,11 @@ def _colour_arcs(
         value, start, length = arc
         return ((start - cut) % ii, -length, value)
 
+    # Row occupancy as II-bit integers: overlap tests are single AND ops.
     colours: list[int] = []  # per colour: occupied-row bitmask
     chosen: dict[int, int] = {}
     for value, start, length in sorted(arcs, key=sort_key):
-        mask = arc_mask(start, length)
+        mask = arc_mask(start, length, ii)
         for index, occupancy in enumerate(colours):
             if not (occupancy & mask):
                 colours[index] = occupancy | mask
@@ -96,12 +90,27 @@ def _colour_arcs(
     return len(colours), chosen
 
 
+def _analysis_spilled_invariants(analysis) -> set[tuple[int, int]]:
+    """The (invariant, cluster) spill set an analysis was built with.
+
+    Works for both batch :class:`LifetimeAnalysis` (private
+    ``_spilled_invariants``) and the live
+    :class:`~repro.schedule.pressure.PressureTracker` (public
+    ``spilled_invariants``).
+    """
+    spilled = getattr(analysis, "spilled_invariants", None)
+    if spilled is None:
+        spilled = getattr(analysis, "_spilled_invariants", frozenset())
+    return set(spilled)
+
+
 def allocate_registers(
     graph: DependenceGraph,
     schedule: PartialSchedule,
     machine: MachineConfig,
     analysis=None,
-    spilled_invariants: set[tuple[int, int]] = frozenset(),
+    spilled_invariants: set[tuple[int, int]] | None = None,
+    colouring=None,
 ) -> dict[int, RegisterAllocation]:
     """Allocate every cluster's register file; returns per-cluster results.
 
@@ -112,11 +121,40 @@ def allocate_registers(
     ``analysis`` may be a batch :class:`LifetimeAnalysis` or the
     scheduler's live :class:`~repro.schedule.pressure.PressureTracker`
     (both expose ``lifetimes`` and per-cluster ``pressure``); when
-    omitted, a fresh batch analysis is built.
+    omitted, a fresh batch analysis is built.  When both ``analysis``
+    and ``spilled_invariants`` are given they must agree: the analysis
+    already carries its spill set, and a conflicting argument used to be
+    *silently ignored* - it now raises ``ValueError``.
+
+    ``colouring`` may be the scheduler's live
+    :class:`~repro.schedule.colouring.IncrementalArcColouring`; the
+    per-cluster arc colourings are then taken from its caches (identical
+    to batch :func:`_colour_arcs` by construction) instead of being
+    recomputed, leaving only the assignment-building lifetime walk.
     """
     if analysis is None:
         analysis = LifetimeAnalysis(
-            graph, schedule, machine, spilled_invariants=spilled_invariants
+            graph,
+            schedule,
+            machine,
+            spilled_invariants=(
+                frozenset() if spilled_invariants is None
+                else spilled_invariants
+            ),
+        )
+    elif spilled_invariants is not None:
+        carried = _analysis_spilled_invariants(analysis)
+        if set(spilled_invariants) != carried:
+            raise ValueError(
+                "allocate_registers: spilled_invariants "
+                f"{sorted(spilled_invariants)} conflicts with the set the "
+                f"provided analysis was built with {sorted(carried)}; "
+                "rebuild the analysis or drop the argument"
+            )
+    if colouring is not None and colouring.tracker is not analysis:
+        raise ValueError(
+            "allocate_registers: the colouring engine mirrors a different "
+            "analysis than the one provided"
         )
     ii = schedule.ii
     lifetimes = analysis.lifetimes
@@ -133,9 +171,12 @@ def allocate_registers(
             full, rest = divmod(lifetime.length, ii)
             full_counts[lifetime.value] = full
             dedicated += full
-            if rest:
+            if rest and colouring is None:
                 arcs.append((lifetime.value, lifetime.start % ii, rest))
-        colour_count, colours = _colour_arcs(arcs, ii)
+        if colouring is not None:
+            colour_count, colours = colouring.cluster_colouring(cluster)
+        else:
+            colour_count, colours = _colour_arcs(arcs, ii)
         # Physical numbering: dedicated registers first, arc colours after.
         next_dedicated = 0
         for value, full in full_counts.items():

@@ -73,17 +73,25 @@ def check_and_insert_spill(state: SchedulerState, *, final: bool = False) -> boo
                 # MaxLive lower bound: full-period registers cover every
                 # row and arc colours >= the peak arc density), so the
                 # expensive colouring runs only on the fitting side.
-                if allocations is None:
-                    allocations = allocate_registers(
-                        state.graph,
-                        state.schedule,
-                        state.machine,
-                        tracker,
-                        spilled_invariants=state.spilled_invariants,
+                # The incremental engine serves the count from its
+                # per-cluster caches (recolouring only dirty clusters);
+                # the batch path is the engine-off oracle configuration.
+                if state.colouring is not None:
+                    requirement = max(
+                        requirement, state.colouring.registers_used(cluster)
                     )
-                requirement = max(
-                    requirement, allocations[cluster].registers_used
-                )
+                else:
+                    if allocations is None:
+                        allocations = allocate_registers(
+                            state.graph,
+                            state.schedule,
+                            state.machine,
+                            tracker,
+                            spilled_invariants=state.spilled_invariants,
+                        )
+                    requirement = max(
+                        requirement, allocations[cluster].registers_used
+                    )
         else:
             threshold = state.params.spill_gauge * available
         if requirement <= threshold:

@@ -99,3 +99,81 @@ def random_graph(seed: int, size: int = 10) -> DependenceGraph:
 
 graph_seeds = st.integers(min_value=0, max_value=10_000)
 graph_sizes = st.integers(min_value=3, max_value=14)
+
+
+# ----------------------------------------------------------------------
+# Randomized scheduler-event drivers (shared by the incremental-engine
+# property suites: tests/test_pressure.py and tests/test_colouring.py)
+# ----------------------------------------------------------------------
+
+def fresh_state(seed: int, machine):
+    """A SchedulerState over a small random loop (one attempt's state)."""
+    from repro.core.params import MirsParams
+    from repro.core.state import SchedulerState
+    from repro.graph.mii import compute_mii
+    from repro.order.hrms import hrms_order
+
+    graph = random_graph(seed, size=10 + seed % 5)
+    ordering = hrms_order(graph, machine)
+    ii = compute_mii(graph, machine) + seed % 3
+    return SchedulerState(
+        graph, machine, ii, ordering.priority, MirsParams()
+    )
+
+
+def place_random(state, rng: random.Random) -> None:
+    """Cluster-select and place one random unscheduled node (plus any
+    moves the clustering requires)."""
+    from repro.cluster.moves import add_move, next_needed_move
+    from repro.cluster.selection import select_cluster
+    from repro.core.scheduling import schedule_node
+
+    unscheduled = [
+        n
+        for n in state.graph.nodes()
+        if not state.schedule.is_scheduled(n.id) and not n.is_move
+    ]
+    if not unscheduled:
+        return
+    node = rng.choice(unscheduled)
+    cluster = select_cluster(state, node)
+    guard = 0
+    while True:
+        plan = next_needed_move(state, node, cluster)
+        if plan is None:
+            break
+        move = add_move(state, plan)
+        schedule_node(state, move, plan.dst_cluster)
+        guard += 1
+        if guard > 8:
+            break
+    if node.id in state.graph and not state.schedule.is_scheduled(node.id):
+        schedule_node(state, node, cluster)
+
+
+def eject_random(state, rng: random.Random) -> None:
+    """Eject one random scheduled node (backtracking event)."""
+    scheduled = [
+        n for n in state.schedule.scheduled_ids() if n in state.graph
+    ]
+    if not scheduled:
+        return
+    state.eject_node(rng.choice(scheduled))
+
+
+def add_random_edge(state, rng: random.Random) -> None:
+    """Add a random REG edge between existing nodes (a lifetime-stretch
+    event, like the rewiring done by spill insertion and move removal)."""
+    producers = [
+        n for n in state.graph.nodes() if n.produces_value and not n.is_move
+    ]
+    consumers = [n for n in state.graph.nodes() if n.kind.is_compute]
+    if not producers or not consumers:
+        return
+    src = rng.choice(producers)
+    dst = rng.choice(consumers)
+    if src.id == dst.id:
+        return
+    state.graph.add_edge(
+        src.id, dst.id, kind=DepKind.REG, distance=rng.randint(0, 2)
+    )

@@ -16,15 +16,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.moves import add_move, next_needed_move
-from repro.cluster.selection import select_cluster
 from repro.core.mirsc import MirsC
-from repro.core.params import MirsParams
-from repro.core.scheduling import schedule_node
-from repro.core.state import SchedulerState
 from repro.errors import SchedulingError
-from repro.graph.mii import compute_mii
-from repro.order.hrms import hrms_order
 from repro.schedule import pressure as pressure_module
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.pressure import PressureTracker
@@ -39,50 +32,11 @@ from tests.helpers import (
     daxpy,
     random_graph,
 )
+from tests.helpers import eject_random as _eject_random
+from tests.helpers import fresh_state as _fresh_state
+from tests.helpers import place_random as _place_random
 
 MACHINES = [UNIFIED_SMALL, TWO_CLUSTER, FOUR_CLUSTER_TIGHT]
-
-
-def _fresh_state(seed: int, machine) -> SchedulerState:
-    graph = random_graph(seed, size=10 + seed % 5)
-    ordering = hrms_order(graph, machine)
-    ii = compute_mii(graph, machine) + seed % 3
-    return SchedulerState(
-        graph, machine, ii, ordering.priority, MirsParams()
-    )
-
-
-def _place_random(state: SchedulerState, rng: random.Random) -> None:
-    unscheduled = [
-        n
-        for n in state.graph.nodes()
-        if not state.schedule.is_scheduled(n.id) and not n.is_move
-    ]
-    if not unscheduled:
-        return
-    node = rng.choice(unscheduled)
-    cluster = select_cluster(state, node)
-    guard = 0
-    while True:
-        plan = next_needed_move(state, node, cluster)
-        if plan is None:
-            break
-        move = add_move(state, plan)
-        schedule_node(state, move, plan.dst_cluster)
-        guard += 1
-        if guard > 8:
-            break
-    if node.id in state.graph and not state.schedule.is_scheduled(node.id):
-        schedule_node(state, node, cluster)
-
-
-def _eject_random(state: SchedulerState, rng: random.Random) -> None:
-    scheduled = [
-        n for n in state.schedule.scheduled_ids() if n in state.graph
-    ]
-    if not scheduled:
-        return
-    state.eject_node(rng.choice(scheduled))
 
 
 class TestRandomizedEventSequences:

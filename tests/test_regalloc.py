@@ -1,5 +1,7 @@
 """Unit tests for wrap-around register allocation."""
 
+import pytest
+
 from repro import LoopBuilder
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.partial import PartialSchedule
@@ -102,3 +104,81 @@ class TestAllocateRegisters:
         allocations = allocate_registers(graph, schedule, UNIFIED)
         assert allocations[0].invariant_registers == 1
         assert allocations[0].registers_used >= 1
+
+
+class TestSpilledInvariantsThreading:
+    """Regression: ``spilled_invariants`` used to be *silently ignored*
+    whenever ``analysis`` was provided - a tracker-provided analysis
+    with a conflicting spill set now raises instead of quietly
+    allocating the invariant a register it no longer holds."""
+
+    def _invariant_state(self):
+        from repro.core.params import MirsParams
+        from repro.core.state import SchedulerState
+        from repro.graph.mii import compute_mii
+        from repro.order.hrms import hrms_order
+
+        b = LoopBuilder("inv-thread")
+        u = b.add(b.load(array=0))
+        inv = b.invariant("c")
+        inv.consumers.add(u.id)
+        b.store(u, array=1)
+        graph = b.build()
+        ordering = hrms_order(graph, UNIFIED)
+        state = SchedulerState(
+            graph,
+            UNIFIED,
+            compute_mii(graph, UNIFIED) + 2,
+            ordering.priority,
+            MirsParams(),
+        )
+        for offset, node in enumerate(sorted(graph.nodes(), key=lambda n: n.id)):
+            state.schedule.place(node, 0, offset * 2)
+        return state, inv
+
+    def test_conflicting_spill_set_raises(self):
+        state, inv = self._invariant_state()
+        with pytest.raises(ValueError, match="spilled_invariants"):
+            allocate_registers(
+                state.graph,
+                state.schedule,
+                state.machine,
+                state.pressure,  # tracker carries an *empty* spill set
+                spilled_invariants={(inv.id, 0)},
+            )
+
+    def test_tracker_provided_analysis_spill_set_is_honoured(self):
+        """The tracker-provided-analysis path: mutating the scheduler's
+        live spill set changes the allocation (the invariant's register
+        is dropped), and passing the same set explicitly is accepted."""
+        state, inv = self._invariant_state()
+        before = allocate_registers(
+            state.graph,
+            state.schedule,
+            state.machine,
+            state.pressure,
+            spilled_invariants=state.spilled_invariants,
+        )
+        assert before[0].invariant_registers == 1
+        state.spilled_invariants.add((inv.id, 0))  # the tracker's live set
+        after = allocate_registers(
+            state.graph,
+            state.schedule,
+            state.machine,
+            state.pressure,
+            spilled_invariants=state.spilled_invariants,
+        )
+        assert after[0].invariant_registers == 0
+        assert after[0].registers_used == before[0].registers_used - 1
+
+    def test_batch_analysis_conflict_raises_too(self):
+        state, inv = self._invariant_state()
+        analysis = LifetimeAnalysis(state.graph, state.schedule, state.machine)
+        with pytest.raises(ValueError, match="conflicts"):
+            allocate_registers(
+                state.graph,
+                state.schedule,
+                state.machine,
+                analysis,
+                spilled_invariants={(inv.id, 0)},
+            )

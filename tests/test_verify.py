@@ -73,3 +73,63 @@ class TestVerifier:
             register_usage={0: 10_000},
         )
         assert any("registers" in v for v in violations)
+
+
+class TestInstanceAssignment:
+    """Regression (found by the paper-scale nightly suite): first-fit
+    replay of multi-row reservations is placement-order-dependent, so a
+    *valid* schedule with unpipelined divides could be reported as a
+    resource conflict when replayed in node-id order."""
+
+    def _div_machine(self):
+        from repro import parse_config
+
+        return parse_config("1-(GP2M1-REG64)")  # 2 FUs; DIV occupies 17
+
+    def _div_schedule(self):
+        """2 FUs, II=34: in id order (A, B, C, D) the first-fit replay
+        parks C on the instance D needs; the only valid assignment is
+        {A, D} / {B, C}, which an exact solver must find."""
+        from repro import DependenceGraph, OpKind
+
+        graph = DependenceGraph(name="divpack", trip_count=10)
+        a = graph.new_node(OpKind.DIV)  # rows 0..16
+        b_node = graph.new_node(OpKind.DIV)  # rows 16..32
+        c = graph.new_node(OpKind.ADD)  # row 33
+        d = graph.new_node(OpKind.DIV)  # rows 17..33
+        times = {a.id: 0, b_node.id: 16, c.id: 33, d.id: 17}
+        clusters = {n: 0 for n in times}
+        return graph, times, clusters
+
+    def test_valid_multi_row_packing_accepted(self):
+        graph, times, clusters = self._div_schedule()
+        violations = verify_schedule(
+            graph, self._div_machine(), 34, times, clusters
+        )
+        assert violations == []
+
+    def test_first_fit_replay_would_have_rejected_it(self):
+        """Pin the motivating asymmetry: the MRT's own first-fit replay
+        (the old verifier) fails on the same schedule in id order."""
+        from repro import SchedulingError
+        from repro.schedule.mrt import ModuloReservationTable
+
+        graph, times, clusters = self._div_schedule()
+        mrt = ModuloReservationTable(self._div_machine(), 34)
+        with pytest.raises(SchedulingError, match="resource conflict"):
+            for node in sorted(graph.nodes(), key=lambda n: n.id):
+                mrt.place(node, clusters[node.id], times[node.id])
+
+    def test_truly_infeasible_packing_rejected(self):
+        """Three overlapping divides on 2 FUs: no assignment exists and
+        the exact check must say so (row capacity already catches it)."""
+        from repro import DependenceGraph, OpKind
+
+        graph = DependenceGraph(name="divover", trip_count=10)
+        nodes = [graph.new_node(OpKind.DIV) for _ in range(3)]
+        times = {n.id: 0 for n in nodes}  # identical rows 0..16
+        clusters = {n.id: 0 for n in nodes}
+        violations = verify_schedule(
+            graph, self._div_machine(), 34, times, clusters
+        )
+        assert any("resource conflict" in v for v in violations)
