@@ -25,7 +25,7 @@ def _sweep(loops, executor=None):
             ("single victim (paper)", MirsParams()),
             ("eject all [6,16,28]", MirsParams(eject_all=True)),
         ):
-            run = schedule_suite(machine, loops, "mirsc", params, executor=executor)
+            run = schedule_suite(machine, loops, params, session=executor)
             rows.append(
                 [
                     k,

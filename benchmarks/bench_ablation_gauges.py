@@ -32,7 +32,7 @@ def _sweep(loops, executor=None):
     ]
     rows = []
     for label, params in variants:
-        run = schedule_suite(machine, loops, "mirsc", params, executor=executor)
+        run = schedule_suite(machine, loops, params, session=executor)
         rows.append(
             [
                 label,

@@ -23,7 +23,7 @@ def test_figure5(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         figure5_rows,
         args=(loops,),
-        kwargs={"executor": executor},
+        kwargs={"session": executor},
         rounds=1,
         iterations=1,
     )

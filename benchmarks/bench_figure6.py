@@ -19,7 +19,7 @@ def test_figure6(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         figure6_rows,
         args=(loops,),
-        kwargs={"clusters": (1, 2, 4, 6, 8), "executor": executor},
+        kwargs={"clusters": (1, 2, 4, 6, 8), "session": executor},
         rounds=1,
         iterations=1,
     )

@@ -25,7 +25,7 @@ def test_figure7(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         figure7_rows,
         args=(loops,),
-        kwargs={"executor": executor},
+        kwargs={"session": executor},
         rounds=1,
         iterations=1,
     )

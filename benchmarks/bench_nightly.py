@@ -44,9 +44,7 @@ def test_nightly_paper_scale_suite(executor, table_sink):
         machine = parse_config(machine_name)
         started = time.perf_counter()
         try:
-            run = schedule_suite(
-                machine, loops, scheduler="mirsc", executor=executor
-            )
+            run = schedule_suite(machine, loops, session=executor)
         except Exception as exc:  # e.g. a SchedulingError from a worker
             failures.append(f"{machine_name}: {exc}")
             continue

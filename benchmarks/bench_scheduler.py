@@ -30,6 +30,18 @@ across hosts of different speeds.  When the committed baseline
   and geometric must converge wherever linear does with the same II
   (its documented bound) in no more attempts.
 
+A ``speculation`` phase schedules ``stress1`` (one feasible II far above
+MII - the speculative driver's best case) serially and with ``K=4``
+candidate IIs racing over per-attempt worker processes.  It always
+asserts the two schedules are fingerprint-identical with the same II
+and that the K=4 run provably cancelled its losers (executed attempts
+< serial attempts + K); under ``REPRO_BENCH_REQUIRE_BASELINE`` (the CI
+gate) the K=4 run must additionally be >= 2x faster wall-clock than
+the serial one when the host has at least 4 cores (on narrower hosts
+parallel speedup is physically capped, so only near-parity overhead is
+gated) - both runs happen back-to-back in this process, so the ratio
+needs no calibration or committed reference.
+
 A third phase instruments the drained-regime **register allocator**: an
 extra stress run replays every incremental
 :class:`~repro.schedule.colouring.IncrementalArcColouring` query against
@@ -52,11 +64,11 @@ import time
 
 from conftest import RESULTS_DIR, loops_for
 
-from repro import LoopBuilder
+from repro import LoopBuilder, ScheduleRequest, SessionConfig
 from repro.core.mirsc import MirsC
 from repro.eval.reporting import render_table
 from repro.eval.runner import schedule_suite
-from repro.exec import SuiteExecutor
+from repro.exec import result_fingerprint
 from repro.machine.config import parse_config
 from repro.workloads.perfect import cached_suite
 from repro.workloads.stress import stress_suite
@@ -116,10 +128,10 @@ def measure_calibration(rounds: int = 5) -> float:
 def _run_suite(machine_name: str, loops, search: str | None = None) -> dict:
     """One timed, cache-free, sequential schedule_suite run."""
     machine = parse_config(machine_name)
-    executor = SuiteExecutor(jobs=1, cache=False)
+    session = SessionConfig(jobs=1, cache=False)
     started = time.perf_counter()
     run = schedule_suite(
-        machine, loops, scheduler="mirsc", executor=executor, search=search
+        machine, loops, ScheduleRequest(search=search), session=session
     )
     wall = time.perf_counter() - started
     placements = sum(r.stats.nodes_scheduled for r in run.results)
@@ -295,19 +307,17 @@ def _measure_allocator(stress_loops) -> dict:
         # the clustered workbench (many spill-heavy loops whose final
         # regime queries the allocator every round), so the gate's call
         # sample stays large even under the CI subset size.
-        executor = SuiteExecutor(jobs=1, cache=False)
+        session = SessionConfig(jobs=1, cache=False)
         schedule_suite(
             parse_config(STRESS_MACHINE),
             stress_loops,
-            scheduler="mirsc",
-            executor=executor,
-            search="geometric",
+            ScheduleRequest(search="geometric"),
+            session=session,
         )
         schedule_suite(
             parse_config("4-(GP2M1-REG32)"),
             cached_suite(WORKBENCH_COUNT),
-            scheduler="mirsc",
-            executor=executor,
+            session=session,
         )
     finally:
         colouring_mod.IncrementalArcColouring.registers_used = original
@@ -319,6 +329,112 @@ def _measure_allocator(stress_loops) -> dict:
         else None
     )
     return stats
+
+
+def _measure_speculation(stress_loops) -> dict:
+    """Speculative II search: stress1 scheduled serially and at K=4.
+
+    ``stress1`` is the speculative driver's best case: exactly one
+    feasible II far above MII, so the serial linear ladder pays for a
+    long chain of failing attempts one at a time while the speculative
+    driver races four of them concurrently.  Both runs go through
+    :class:`~repro.core.mirsc.MirsC` directly (fresh engine, no cache);
+    the committed schedules must be fingerprint-identical, and the K=4
+    run must provably cancel its losers (executed attempts stay under
+    the serial attempt count plus the frontier width).
+    """
+    graph = stress_loops[1]
+    machine = parse_config(STRESS_MACHINE)
+    entries: dict[int, dict] = {}
+    for width in (1, 4):
+        engine = MirsC(machine, strict=False, speculation=width)
+        started = time.perf_counter()
+        result = engine.schedule(graph.clone())
+        wall = time.perf_counter() - started
+        entries[width] = {
+            "wall_seconds": round(wall, 3),
+            "ii": result.ii,
+            "converged": result.converged,
+            "fingerprint": result_fingerprint(result),
+            "attempts": len(result.stats.search_trace),
+            "search_stats": result.stats.search_stats,
+        }
+    k1, k4 = entries[1], entries[4]
+    return {
+        "loop": graph.name,
+        "machine": STRESS_MACHINE,
+        "width": 4,
+        # Racing K attempts needs K cores to pay off; the gate adapts.
+        "cpus": os.cpu_count() or 1,
+        "k1": k1,
+        "k4": k4,
+        # Same-host, same-process ratio: no calibration needed.
+        "speedup": (
+            round(k1["wall_seconds"] / k4["wall_seconds"], 2)
+            if k4["wall_seconds"]
+            else None
+        ),
+    }
+
+
+def _gate_speculation(
+    section: dict, baseline_section: dict | None = None
+) -> list[str]:
+    """The speculative-search gates (see ``_measure_speculation``)."""
+    failures: list[str] = []
+    k1, k4 = section["k1"], section["k4"]
+    if k4["fingerprint"] != k1["fingerprint"]:
+        failures.append(
+            f"speculative (K=4) schedule of {section['loop']} is not "
+            f"fingerprint-identical to the serial one"
+        )
+    if k4["ii"] != k1["ii"] or k4["converged"] != k1["converged"]:
+        failures.append(
+            f"speculative (K=4) II/convergence "
+            f"({k4['ii']}/{k4['converged']}) differs from serial "
+            f"({k1['ii']}/{k1['converged']})"
+        )
+    executed = k4["search_stats"].get("executed_attempts")
+    serial_attempts = k1["attempts"]
+    if executed is None or executed >= serial_attempts + section["width"]:
+        failures.append(
+            f"speculative losers not provably cancelled: executed "
+            f"{executed} attempts vs serial {serial_attempts} + "
+            f"K={section['width']} bound"
+        )
+    # Stress loops are a deterministic stream and the fingerprint is
+    # host-independent, so the committed baseline pins the schedule
+    # itself across commits (not just this process's K=1 vs K=4 pair).
+    if baseline_section is not None and (
+        baseline_section.get("loop") == section["loop"]
+        and baseline_section.get("machine") == section["machine"]
+    ):
+        if k1["fingerprint"] != baseline_section.get("fingerprint"):
+            failures.append(
+                f"serial schedule of {section['loop']} drifted from the "
+                f"committed baseline fingerprint"
+            )
+        if k1["attempts"] != baseline_section.get("serial_attempts"):
+            failures.append(
+                f"serial II ladder on {section['loop']} took "
+                f"{k1['attempts']} attempts vs the committed "
+                f"{baseline_section.get('serial_attempts')}"
+            )
+    if os.environ.get("REPRO_BENCH_REQUIRE_BASELINE"):
+        # With the full frontier width in cores, racing must pay off
+        # (>=2x on stress1); on narrower hosts parallel speedup is
+        # physically capped, so gate only the runner's overhead — a
+        # single-core K=4 run does the serial attempts plus at most
+        # K-1 extras through worker pipes and must stay near parity.
+        cpus = section.get("cpus") or 1
+        floor = 2.0 if cpus >= section["width"] else 0.7
+        if section["speedup"] is None or section["speedup"] < floor:
+            failures.append(
+                f"speculative K=4 speedup on {section['loop']} fell "
+                f"below {floor}x (measured {section['speedup']}x on "
+                f"{cpus} cpu(s))"
+            )
+    return failures
 
 
 def _load_baseline() -> dict | None:
@@ -390,6 +506,12 @@ def test_scheduler_throughput(table_sink):
     payload["stress"]["count"] = stress_count
     payload["stress"]["policies"] = sorted(policy_entries)
 
+    # Speculative II-search phase: stress1 serial vs K=4 race; identical
+    # fingerprints, provable cancellation, and (under the CI gate) >= 2x
+    # wall-clock (see _measure_speculation).
+    speculation = _measure_speculation(stress_loops)
+    payload["speculation"] = speculation
+
     # Drained-regime allocator phase: every incremental query replayed
     # against the batch oracle, call for call (see module docstring).
     allocator = _measure_allocator(stress_loops)
@@ -418,6 +540,14 @@ def test_scheduler_throughput(table_sink):
             f"committed baseline {BASELINE_PATH} has no ii_search "
             "section; the policy gates would silently become no-ops"
         )
+        assert baseline.get("speculation"), (
+            f"committed baseline {BASELINE_PATH} has no speculation "
+            "section; the cross-commit fingerprint pin would silently "
+            "become a no-op"
+        )
+    speculation_failures = _gate_speculation(
+        speculation, (baseline or {}).get("speculation")
+    )
     regression_failure = None
     speedup_failure = None
     if baseline is not None:
@@ -504,12 +634,22 @@ def test_scheduler_throughput(table_sink):
             entry["converged"], entry["wall_seconds"],
             entry["normalized_wall"], entry["placements_per_sec"],
         ])
+    for width in ("k1", "k4"):
+        entry = speculation[width]
+        rows.append([
+            f"speculation/{width}", speculation["machine"], 1,
+            int(entry["converged"]), entry["wall_seconds"],
+            round(entry["wall_seconds"] / calibration, 1), "-",
+        ])
     note = (
         f"calibration {calibration * 1000:.0f} ms; "
         f"stress speedup vs pre-PR engine: "
         f"{payload['stress'].get('speedup_vs_pre_pr', 'n/a')}x; "
         f"geometric II-search vs committed linear baseline: "
         f"{payload['stress'].get('geometric_speedup_vs_baseline_linear', 'n/a')}x; "
+        f"speculative K=4 on {speculation['loop']}: "
+        f"{speculation['speedup']}x, fingerprints "
+        f"{'match' if speculation['k1']['fingerprint'] == speculation['k4']['fingerprint'] else 'MISMATCH'}; "
         f"incremental allocator vs batch: {allocator['speedup']}x over "
         f"{allocator['calls']} calls, {len(allocator['mismatches'])} mismatches"
     )
@@ -521,6 +661,7 @@ def test_scheduler_throughput(table_sink):
     assert regression_failure is None, regression_failure
     assert speedup_failure is None, speedup_failure
     assert policy_failures == [], "; ".join(policy_failures)
+    assert speculation_failures == [], "; ".join(speculation_failures)
     assert allocator_failures == [], "; ".join(allocator_failures)
     assert all(
         entry["placements"] > 0

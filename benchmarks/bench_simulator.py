@@ -23,7 +23,7 @@ def test_simulator(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         simulator_rows,
         args=(loops,),
-        kwargs={"iterations": ITERATIONS, "executor": executor},
+        kwargs={"iterations": ITERATIONS, "session": executor},
         rounds=1,
         iterations=1,
     )

@@ -20,7 +20,7 @@ def test_table1(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         table1_rows,
         args=(loops,),
-        kwargs={"executor": executor},
+        kwargs={"session": executor},
         rounds=1,
         iterations=1,
     )

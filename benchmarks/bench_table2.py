@@ -19,7 +19,7 @@ def test_table2(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         table2_rows,
         args=(loops,),
-        kwargs={"executor": executor},
+        kwargs={"session": executor},
         rounds=1,
         iterations=1,
     )

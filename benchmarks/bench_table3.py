@@ -18,7 +18,7 @@ def test_table3(benchmark, table_sink, executor):
     headers, rows, note = benchmark.pedantic(
         table3_rows,
         args=(loops,),
-        kwargs={"executor": executor},
+        kwargs={"session": executor},
         rounds=1,
         iterations=1,
     )

@@ -35,8 +35,14 @@ workload in :mod:`repro.workloads`; the memory-hierarchy simulator in
 
 from repro.baseline.noniterative import NonIterativeScheduler
 from repro.codegen.emitter import GeneratedCode, generate_code
+from repro.core.attempts import (
+    AttemptResult,
+    AttemptTask,
+    SpeculativeSearchDriver,
+)
 from repro.core.mirsc import Mirs, MirsC
 from repro.core.params import MirsParams
+from repro.core.request import ScheduleRequest, SessionConfig
 from repro.core.result import ScheduleResult
 from repro.core.search import (
     AttemptOutcome,
@@ -82,6 +88,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AllocationError",
     "AttemptOutcome",
+    "AttemptResult",
+    "AttemptTask",
     "BisectionSearch",
     "ClusterConfig",
     "ConfigError",
@@ -107,8 +115,11 @@ __all__ = [
     "NonIterativeScheduler",
     "OpKind",
     "ReproError",
+    "ScheduleRequest",
     "ScheduleResult",
     "SchedulingError",
+    "SessionConfig",
+    "SpeculativeSearchDriver",
     "TechnologyModel",
     "compute_mii",
     "find_recurrences",

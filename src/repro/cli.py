@@ -36,16 +36,16 @@ import sys
 
 from repro import (
     LoopBuilder,
-    MirsC,
     generate_code,
     parse_config,
 )
+from repro.core.request import ScheduleRequest, SessionConfig
 from repro.core.search import POLICIES
 from repro.eval.experiments import figure2_rows
 from repro.eval.pretty import format_kernel
 from repro.eval.reporting import render_table
 from repro.eval.runner import schedule_suite
-from repro.exec import ResultCache, SuiteExecutor
+from repro.exec import ResultCache
 from repro.memsim.stall import MemoryModel
 from repro.sim import run_differential
 from repro.workloads.perfect import (
@@ -103,6 +103,15 @@ def positive_int(text: str) -> int:
     return value
 
 
+def _request_from(args: argparse.Namespace) -> ScheduleRequest:
+    """The one CLI→request resolution point: every scheduling command
+    builds its :class:`ScheduleRequest` here, so the CLI and the Python
+    API share identical semantics (and cache keys)."""
+    return ScheduleRequest(
+        search=args.ii_search, speculation=args.speculation
+    )
+
+
 def _demo_graph():
     b = LoopBuilder("daxpy", trip_count=1000)
     x = b.load(array=0)
@@ -120,7 +129,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         graph = _demo_graph()
     else:
         graph = build_loop(args.loop).graph
-    result = MirsC(machine, search=args.ii_search).schedule(graph)
+    result = _request_from(args).make_scheduler(machine).schedule(graph)
     print(format_kernel(result))
     print()
     print(result.summary())
@@ -138,7 +147,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         graph = _demo_graph()
     else:
         graph = build_loop(args.loop).graph
-    result = MirsC(machine, search=args.ii_search).schedule(graph)
+    result = _request_from(args).make_scheduler(machine).schedule(graph)
     # None: the environment decides (REPRO_CACHE_DIR opts in, as for
     # plain library calls elsewhere).
     report = run_differential(result, args.iterations, cache=None)
@@ -191,11 +200,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         args.config, move_latency=args.move_latency, buses=args.buses
     )
     loops = cached_suite(args.loops)
-    executor = SuiteExecutor(jobs=args.jobs, cache=not args.no_cache)
+    session = SessionConfig(jobs=args.jobs, cache=not args.no_cache)
     ours_run = schedule_suite(
-        machine, loops, "mirsc", executor=executor, search=args.ii_search
+        machine, loops, _request_from(args), session=session
     )
-    base_run = schedule_suite(machine, loops, "baseline", executor=executor)
+    base_run = schedule_suite(machine, loops, "baseline", session=session)
     rows = []
     for loop, ours, base in zip(loops, ours_run.results, base_run.results):
         rows.append(
@@ -216,6 +225,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    executor = session.make_executor()
     stats = executor.stats
     print(
         f"[exec] jobs={executor.jobs} scheduled={stats.scheduled} "
@@ -273,6 +283,15 @@ def build_parser() -> argparse.ArgumentParser:
             default="linear",
             help="II-search policy for MIRS-C (default: the paper's "
             "linear restart ladder)",
+        )
+        p.add_argument(
+            "--speculation",
+            type=positive_int,
+            default=None,
+            metavar="K",
+            help="race K candidate IIs concurrently (default: "
+            "$REPRO_SPECULATION or 1, the serial search; results are "
+            "identical for every K)",
         )
         p.add_argument("--move-latency", type=int, default=1)
         p.add_argument(

@@ -1,0 +1,962 @@
+"""Resumable attempt tasks and the speculative parallel II search.
+
+The paper's driver (Figure 4) explores the II ladder one attempt at a
+time, yet every fixed-II attempt is an independent subproblem: it needs
+only the pristine graph, the HRMS priorities, the machine and the
+parameter set.  This module makes that subproblem a first-class,
+picklable value:
+
+* :class:`AttemptTask` — everything one attempt needs, shippable to
+  another process (or, later, another machine);
+* :class:`AttemptResult` — the structured
+  :class:`~repro.core.search.AttemptOutcome` plus, when the attempt
+  scheduled, a serialized :class:`FeasibleState` that
+  :class:`~repro.core.mirsc.MirsC` can finalize without re-running the
+  attempt;
+* :class:`AttemptEngine` — the fixed-II attempt loop itself (steps
+  (1)–(6) of Figure 4), extracted from ``MirsC`` so the serial driver
+  and the worker processes execute the identical code path;
+* :class:`SerialAttemptRunner` / :class:`PoolAttemptRunner` — pluggable
+  executors for attempt tasks (in-process, or raced over per-attempt
+  worker processes with revocable cancellation);
+* :class:`SpeculativeSearchDriver` — races a frontier of K candidate
+  IIs proposed by the configured
+  :class:`~repro.core.search.IISearchPolicy`, retiring every
+  strictly-higher in-flight candidate once a lower II completes
+  feasibly.
+
+Determinism
+-----------
+
+The committed result must be bit-identical to the serial driver's
+regardless of completion order.  The driver never trusts arrival order:
+after every batch of completions it *replays* the search policy from
+``first_ii`` over the completed outcomes.  The replay either runs off
+the end (search finished — the committed result is the lowest feasible
+II on the replayed path, exactly the serial driver's choice) or stops at
+the first II whose outcome is still unknown; that II anchors the next
+frontier.  Speculative candidates beyond the anchor are predicted by
+feeding the same policy a conservative synthetic failure
+(:func:`predicted_failure`) for each not-yet-completed II, so the
+frontier follows the policy's own trajectory.  Mispredicted attempts are
+cancelled (or simply ignored by the replay) — they can change wall-clock
+time and ``stats.search_trace``, never the schedule.
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import time
+
+from repro.cluster.moves import add_move, next_needed_move
+from repro.cluster.selection import select_cluster
+from repro.core.params import MirsParams
+from repro.core.scheduling import schedule_node
+from repro.core.search import AttemptOutcome, OutcomeKind, predicted_failure
+from repro.core.state import SchedulerState, SchedulerStats
+from repro.errors import SchedulingError
+from repro.graph.ddg import DepKind, DependenceGraph
+from repro.graph.latency import edge_latency
+from repro.machine.config import MachineConfig
+from repro.schedule.partial import PartialSchedule
+from repro.schedule.regalloc import allocate_registers
+from repro.spill.heuristics import check_and_insert_spill
+
+
+# ----------------------------------------------------------------------
+# The attempt-task values
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class AttemptTask:
+    """One fixed-II scheduling attempt, as a self-contained value.
+
+    Attributes:
+        graph: the pristine loop (the attempt clones it; the task stays
+            reusable).
+        machine: target configuration.
+        params: algorithm parameters (the II-search policy they carry is
+            irrelevant to a fixed-II attempt and excluded from the
+            attempt cache key).
+        ii: the II to attempt.
+        priorities: HRMS priorities (node id -> priority), computed once
+            per search and shared by every task of that search.
+        graph_hash: stable content hash of ``graph``
+            (:func:`repro.exec.hashing.stable_hash` over
+            :func:`~repro.exec.hashing.canonical_graph`), computed once
+            per search so per-attempt cache keys do not re-canonicalize
+            the graph K times.
+    """
+
+    graph: DependenceGraph
+    machine: MachineConfig
+    params: MirsParams
+    ii: int
+    priorities: dict[int, float]
+    graph_hash: str
+
+    def cache_key(self) -> str:
+        """Content-addressed key of this attempt (see
+        :func:`repro.exec.hashing.attempt_cache_key`)."""
+        from repro.exec.hashing import attempt_cache_key
+
+        return attempt_cache_key(self)
+
+    def with_ii(self, ii: int) -> AttemptTask:
+        return dataclasses.replace(self, ii=ii)
+
+
+@dataclasses.dataclass
+class FeasibleState:
+    """The serializable remains of a successful attempt.
+
+    Carries exactly what :meth:`repro.core.mirsc.MirsC._finalize` needs:
+    the mutated graph (spills and moves included), the complete partial
+    schedule, the spilled-invariant markers, the attempt's counters and
+    the incremental memory-operation count.  The live
+    :class:`~repro.schedule.pressure.PressureTracker` is detached before
+    capture, so the object pickles cleanly across process boundaries.
+    """
+
+    ii: int
+    graph: DependenceGraph
+    schedule: PartialSchedule
+    spilled_invariants: set[tuple[int, int]]
+    stats: SchedulerStats
+    memory_traffic: int
+
+    @classmethod
+    def from_state(cls, state: SchedulerState) -> FeasibleState:
+        state.pressure.detach()
+        return cls(
+            ii=state.ii,
+            graph=state.graph,
+            schedule=state.schedule,
+            spilled_invariants=state.spilled_invariants,
+            stats=state.stats,
+            memory_traffic=state.memory_operation_count(),
+        )
+
+
+@dataclasses.dataclass
+class AttemptResult:
+    """What one executed :class:`AttemptTask` produced.
+
+    ``feasible`` is ``None`` exactly when ``outcome.scheduled`` is
+    false.  ``seconds`` is the worker-side wall clock (diagnostic).
+    """
+
+    ii: int
+    outcome: AttemptOutcome
+    feasible: FeasibleState | None = None
+    seconds: float = 0.0
+
+
+def run_attempt(task: AttemptTask) -> AttemptResult:
+    """Execute one attempt task (the pool workers' entry point)."""
+    started = time.perf_counter()
+    engine = AttemptEngine(task.machine, task.params)
+    state, outcome = engine.run(task.graph.clone(), task.ii, task.priorities)
+    feasible = FeasibleState.from_state(state) if state is not None else None
+    return AttemptResult(
+        ii=task.ii,
+        outcome=outcome,
+        feasible=feasible,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# The fixed-II attempt loop (Figure 4 steps (1)-(6)), shared verbatim by
+# the serial MirsC driver and the attempt-task workers.
+# ----------------------------------------------------------------------
+
+
+class AttemptEngine:
+    """Runs one scheduling attempt at a fixed II (Figure 4's inner loop)."""
+
+    def __init__(self, machine: MachineConfig, params: MirsParams):
+        self.machine = machine
+        self.params = params
+        self._bound_churn = params.effective_bound_eject_churn()
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        graph: DependenceGraph,
+        ii: int,
+        priorities: dict[int, float],
+    ) -> tuple[SchedulerState | None, AttemptOutcome]:
+        """One scheduling attempt at a fixed II.
+
+        Returns ``(state, outcome)``; ``state`` is ``None`` when the
+        attempt failed, and ``outcome`` records which of the step-(6)
+        restart conditions fired (plus the measured pressure deficit).
+        """
+        state = SchedulerState(graph, self.machine, ii, priorities, self.params)
+        final_rounds = 0
+        max_final_rounds = self.params.final_round_cap_for(
+            self.machine.clusters, len(graph)
+        )
+        placements_since_check = 0
+
+        while True:
+            if state.pl.empty():
+                # Steps (4)+(5) in the drained regime: true register
+                # allocation, then spill/balance/eject until it fits.
+                acted = self._checked_spill(state, final=True)
+                if state.pl.empty():
+                    if self._fits_registers(state):
+                        return state, self._outcome(
+                            state, OutcomeKind.SCHEDULED, final_rounds
+                        )
+                    final_rounds += 1
+                    if not acted:
+                        return None, self._outcome(
+                            state,
+                            OutcomeKind.REGISTER_INFEASIBLE,
+                            final_rounds,
+                        )
+                    if final_rounds > max_final_rounds:
+                        return None, self._outcome(
+                            state, OutcomeKind.ROUND_CAP, final_rounds
+                        )
+                    continue
+                if self._churned_out(state, max_final_rounds):
+                    return None, self._outcome(
+                        state, OutcomeKind.ROUND_CAP, final_rounds
+                    )
+
+            # Step (6): Restart_Schedule conditions.
+            if state.budget <= 0:
+                return None, self._outcome(
+                    state, OutcomeKind.BUDGET_EXHAUSTED, final_rounds
+                )
+            if state.memory_traffic_infeasible():
+                return None, self._outcome(
+                    state, OutcomeKind.TRAFFIC_INFEASIBLE, final_rounds
+                )
+
+            # Step (2): pick the highest-priority node.
+            node_id = state.pl.pop()
+            if node_id not in state.graph:
+                continue  # removed move still queued
+            if state.schedule.is_scheduled(node_id):
+                continue
+            node = state.graph.node(node_id)
+
+            if node.is_move:
+                self._reschedule_move(state, node_id)
+                state.budget -= 1
+                continue
+
+            # Step (C1): cluster selection.
+            cluster = select_cluster(state, node)
+
+            # Step (C2): insert and schedule the needed moves.
+            guard = 0
+            while True:
+                plan = next_needed_move(state, node, cluster)
+                if plan is None:
+                    break
+                move = add_move(state, plan)
+                schedule_node(state, move, plan.dst_cluster)
+                guard += 1
+                if guard > 4 * self.machine.clusters + 8:
+                    # Communication livelock: burn budget so the restart
+                    # rule eventually fires.
+                    state.budget -= guard
+                    break
+
+            # Step (3): schedule U itself.
+            schedule_node(state, node, cluster)
+
+            # Steps (4)+(5): register pressure check (gauged regime).
+            placements_since_check += 1
+            if (
+                placements_since_check >= self.params.spill_check_interval
+                or state.pl.empty()
+            ):
+                placements_since_check = 0
+                self._checked_spill(state, final=False)
+                if self._churned_out(state, max_final_rounds):
+                    return None, self._outcome(
+                        state, OutcomeKind.ROUND_CAP, final_rounds
+                    )
+            state.budget -= 1
+
+    # ------------------------------------------------------------------
+
+    def _pressure_deficit(self, state: SchedulerState) -> dict[int, int]:
+        """Per-cluster ``MaxLive - AR`` (positive entries only)."""
+        available = state.machine.cluster.registers
+        if available is None:
+            return {}
+        return {
+            cluster: live - available
+            for cluster, live in sorted(state.pressure.max_live_all().items())
+            if live > available
+        }
+
+    def _outcome(
+        self, state: SchedulerState, kind: OutcomeKind, final_rounds: int = 0
+    ) -> AttemptOutcome:
+        suggested = state.ii + 1
+        if kind is OutcomeKind.TRAFFIC_INFEASIBLE:
+            suggested = state.suggested_restart_ii()
+        return AttemptOutcome(
+            ii=state.ii,
+            kind=kind,
+            pressure_deficit=(
+                {} if kind is OutcomeKind.SCHEDULED
+                else self._pressure_deficit(state)
+            ),
+            registers_available=state.machine.cluster.registers,
+            budget_left=state.budget,
+            suggested_ii=suggested,
+            final_rounds=final_rounds,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _checked_spill(self, state: SchedulerState, *, final: bool) -> bool:
+        """Run the spill check, tracking eject-only churn when bounded.
+
+        With ``bound_eject_churn`` off (the paper-exact default) this is
+        exactly ``check_and_insert_spill``.  With it on, consecutive
+        checks whose only action was a critical-row ejection are
+        counted: an eject-and-replace cycle makes no measurable
+        progress (no spill, no balance move — the victim goes straight
+        back to the slot pool), yet the paper's driver bounds it only
+        by the restart budget, which takes thousands of placements to
+        drain.  The counter resets whenever a check spills or balances.
+        """
+        if not self._bound_churn:
+            return check_and_insert_spill(state, final=final)
+        stats = state.stats
+        progress_before = (
+            stats.spill_stores_added + stats.spill_loads_added
+            + stats.invariant_spills + stats.balance_shifts
+        )
+        ejections_before = stats.ejections
+        acted = check_and_insert_spill(state, final=final)
+        if acted:
+            progressed = (
+                stats.spill_stores_added + stats.spill_loads_added
+                + stats.invariant_spills + stats.balance_shifts
+            ) != progress_before
+            if progressed:
+                state.eject_churn_run = 0
+            elif stats.ejections > ejections_before:
+                state.eject_churn_run += 1
+        return acted
+
+    def _churned_out(self, state: SchedulerState, cap: int) -> bool:
+        """True when bounded eject-only churn exceeded the round cap."""
+        return self._bound_churn and state.eject_churn_run > cap
+
+    # ------------------------------------------------------------------
+
+    def _reschedule_move(self, state: SchedulerState, move_id: int) -> None:
+        """Re-place a move that was ejected by a resource conflict.
+
+        The paper re-validates communication decisions when operations
+        are picked up again: a move whose endpoints changed or vanished
+        is removed, and the ordinary Need_Move machinery recreates it
+        later if it is still required.
+        """
+        move = state.graph.node(move_id)
+        consumers = [
+            e.dst
+            for e in state.graph.out_edges(move_id)
+            if e.kind is DepKind.REG and state.schedule.is_scheduled(e.dst)
+        ]
+        if not consumers:
+            state.remove_move(move_id)
+            return
+
+        # The value must arrive where the consumer *reads* it: a consumer
+        # that is itself a move (a chained communication) reads in its
+        # declared source cluster, not in the cluster it executes in.
+        def read_cluster(consumer_id: int) -> int:
+            consumer = state.graph.node(consumer_id)
+            if consumer.is_move and consumer.src_cluster is not None:
+                return consumer.src_cluster
+            return state.schedule.cluster(consumer_id)
+
+        dst_cluster = read_cluster(consumers[0])
+        # One move serves one destination cluster.  Consumers re-placed
+        # into *other* clusters while this move sat unscheduled would be
+        # silently left reading cross-cluster by whatever is decided
+        # below (removal reconnects them straight to the producer);
+        # eject them instead, so the ordinary Need_Move machinery
+        # re-creates their communication when they are picked up again.
+        # (Surfaced by the paper-scale suite: reduction loops on the
+        # clustered machines.)
+        for consumer_id in consumers[1:]:
+            if state.schedule.is_scheduled(consumer_id) and (
+                read_cluster(consumer_id) != dst_cluster
+            ):
+                state.eject_node(consumer_id)
+        if move.move_of_invariant is None:
+            producers = [
+                e.src
+                for e in state.graph.in_edges(move_id)
+                if e.kind is DepKind.REG
+            ]
+            if not producers or not state.schedule.is_scheduled(producers[0]):
+                state.remove_move(move_id)
+                return
+            src_cluster = state.schedule.cluster(producers[0])
+            if src_cluster == dst_cluster:
+                # Removal reconnects the (scheduled) consumers straight
+                # to the (scheduled) producer; while the move sat off
+                # schedule its chain imposed no timing constraint, so
+                # the merged direct edge may be violated at the current
+                # placements.  Eject such consumers - they re-place
+                # against the restored dependence.  (Also surfaced by
+                # the paper-scale suite.)
+                state.remove_move(move_id)
+                self._eject_violated_consumers(
+                    state, producers[0], consumers
+                )
+                return
+            move.src_cluster = src_cluster
+        schedule_node(state, move, dst_cluster)
+
+    def _eject_violated_consumers(
+        self, state: SchedulerState, producer: int, consumers: list[int]
+    ) -> None:
+        """Eject scheduled consumers whose direct edge from ``producer``
+        is violated (used after a move removal merges edges between
+        scheduled endpoints)."""
+        schedule = state.schedule
+        if not schedule.is_scheduled(producer):
+            return
+        start = schedule.time(producer)
+        ii = state.ii
+        for consumer_id in dict.fromkeys(consumers):
+            if consumer_id == producer:
+                continue
+            if not schedule.is_scheduled(consumer_id):
+                continue
+            consumer_time = schedule.time(consumer_id)
+            for edge in state.graph.out_edges(producer):
+                if edge.dst != consumer_id:
+                    continue
+                latency = edge_latency(state.graph, edge, state.machine)
+                if consumer_time - start - latency + ii * edge.distance < 0:
+                    state.eject_node(consumer_id)
+                    break
+
+    # ------------------------------------------------------------------
+
+    def _fits_registers(self, state: SchedulerState) -> bool:
+        available = state.machine.cluster.registers
+        if available is None:
+            return True
+        # MaxLive is a lower bound on the allocation (the colouring
+        # never beats it), so an over-budget cluster fails without
+        # running the allocator; the exact colouring only arbitrates the
+        # fitting side (footnote 2: MaxLive occasionally underestimates).
+        if any(
+            live > available
+            for live in state.pressure.max_live_all().values()
+        ):
+            return False
+        if state.colouring is not None:
+            # Incremental path: per-cluster counts from the engine's
+            # caches (only clusters whose lifetimes changed recolour).
+            return all(
+                used <= available
+                for used in state.colouring.registers_used_all().values()
+            )
+        allocations = allocate_registers(
+            state.graph,
+            state.schedule,
+            state.machine,
+            state.pressure,
+            spilled_invariants=state.spilled_invariants,
+        )
+        return all(
+            alloc.registers_used <= available
+            for alloc in allocations.values()
+        )
+
+
+# ----------------------------------------------------------------------
+# Attempt runners
+# ----------------------------------------------------------------------
+
+
+class AttemptRunner:
+    """The execution contract the speculative driver programs against.
+
+    A runner holds at most one in-flight attempt per II.  ``submit``
+    enqueues a task; ``wait(needed_ii)`` blocks until at least one
+    in-flight attempt completes (the needed II must be in flight);
+    ``cancel`` revokes in-flight attempts — revoked IIs may be
+    re-submitted later (a traffic-driven jump can make the serial path
+    need an II above a known-feasible one); ``finish`` ends one search,
+    discarding whatever is still pending.
+    """
+
+    def pending(self) -> set[int]:
+        raise NotImplementedError
+
+    def submit(self, task: AttemptTask) -> None:
+        raise NotImplementedError
+
+    def wait(self, needed_ii: int) -> list[AttemptResult]:
+        raise NotImplementedError
+
+    def cancel(self, iis) -> int:
+        raise NotImplementedError
+
+    def finish(self) -> None:
+        raise NotImplementedError
+
+
+class SerialAttemptRunner(AttemptRunner):
+    """In-process runner: executes only the II the driver actually needs.
+
+    Speculative submissions sit in the queue and are simply never run
+    unless they become the needed II, so a K>1 search over this runner
+    does exactly the serial driver's work — it is the degenerate (and
+    always-available) executor, used automatically where nested process
+    pools are impossible (inside ``repro.exec`` pool workers, which are
+    daemonic).
+    """
+
+    def __init__(self) -> None:
+        self._queued: dict[int, AttemptTask] = {}
+
+    def pending(self) -> set[int]:
+        return set(self._queued)
+
+    def submit(self, task: AttemptTask) -> None:
+        self._queued[task.ii] = task
+
+    def wait(self, needed_ii: int) -> list[AttemptResult]:
+        task = self._queued.pop(needed_ii, None)
+        if task is None:
+            raise SchedulingError(
+                f"attempt runner asked to wait on II={needed_ii}, "
+                "which was never submitted"
+            )
+        return [run_attempt(task)]
+
+    def cancel(self, iis) -> int:
+        revoked = 0
+        for ii in list(iis):
+            if self._queued.pop(ii, None) is not None:
+                revoked += 1
+        return revoked
+
+    def finish(self) -> None:
+        self._queued.clear()
+
+
+def _attempt_worker(conn) -> None:
+    """Worker-process loop: tasks arrive on the private pipe, results go
+    back on it; EOF (the parent closed its end) retires the worker.
+
+    Exceptions are shipped through the pipe too, so the parent re-raises
+    them at the :meth:`PoolAttemptRunner.wait` call site instead of
+    mistaking a crashed attempt for a cancelled one.
+    """
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except EOFError:
+                return
+            try:
+                result: object = run_attempt(task)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in parent
+                result = exc
+            conn.send(result)
+    finally:
+        conn.close()
+
+
+class PoolAttemptRunner(AttemptRunner):
+    """Races attempts over persistent workers with *private* pipes.
+
+    Each worker owns a dedicated duplex pipe and carries one attempt at
+    a time, so workers share nothing with each other: revoking an
+    attempt terminates just its worker, and a worker killed mid-write
+    corrupts only its own, already-discarded pipe.  A shared
+    ``multiprocessing.Pool`` cannot revoke that safely — terminating it
+    can kill a worker while it holds the shared result-queue lock,
+    deadlocking the parent's task-handler thread (CPython bpo-29759;
+    the speculative suite hit exactly that hang intermittently).
+
+    Workers are forked lazily on first use, stay warm across searches
+    (one runner serves a whole suite), and are respawned only when a
+    cancellation kills one — the fork cost is per *revocation*, not per
+    attempt.  ``processes`` is the width the runner was sized for; the
+    driver's frontier discipline keeps in-flight attempts at or near
+    it, and submissions beyond it fork extra workers rather than queue
+    — brief over-subscription costs scheduling fairness, never
+    correctness.
+    """
+
+    def __init__(self, processes: int):
+        self.processes = max(1, processes)
+        self._ctx = multiprocessing.get_context()
+        self._idle: list[tuple] = []  # warm (process, conn) workers
+        self._inflight: dict[int, tuple] = {}  # ii -> (process, conn)
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self) -> tuple:
+        ours, theirs = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_attempt_worker,
+            args=(theirs,),
+            daemon=True,
+            name="repro-attempt-worker",
+        )
+        process.start()
+        # The worker now holds the only other copy of its pipe end;
+        # closing the parent's duplicate makes a dead worker observable
+        # as EOF instead of a silent hang.
+        theirs.close()
+        return process, ours
+
+    def pending(self) -> set[int]:
+        return set(self._inflight)
+
+    def submit(self, task: AttemptTask) -> None:
+        if task.ii in self._inflight:
+            raise SchedulingError(f"II={task.ii} is already in flight")
+        entry = self._idle.pop() if self._idle else self._spawn()
+        try:
+            entry[1].send(task)
+        except OSError:
+            # A warm worker died between searches; replace it.
+            entry[0].join()
+            entry = self._spawn()
+            entry[1].send(task)
+        self._inflight[task.ii] = entry
+
+    def wait(self, needed_ii: int) -> list[AttemptResult]:
+        if needed_ii not in self._inflight:
+            raise SchedulingError(
+                f"attempt runner asked to wait on II={needed_ii}, "
+                "which is not in flight"
+            )
+        by_conn = {conn: ii for ii, (_, conn) in self._inflight.items()}
+        ready = multiprocessing.connection.wait(list(by_conn))
+        results: list[AttemptResult] = []
+        for conn in ready:
+            ii = by_conn[conn]
+            entry = self._inflight.pop(ii)
+            try:
+                payload = entry[1].recv()
+            except EOFError:
+                entry[0].join()
+                raise SchedulingError(
+                    f"attempt worker for II={ii} died without a result "
+                    f"(exit code {entry[0].exitcode})"
+                ) from None
+            self._idle.append(entry)
+            if isinstance(payload, BaseException):
+                raise payload
+            results.append(payload)
+        return sorted(results, key=lambda result: result.ii)
+
+    def cancel(self, iis) -> int:
+        revoked = 0
+        for ii in list(iis):
+            entry = self._inflight.pop(ii, None)
+            if entry is None:
+                continue
+            process, conn = entry
+            process.terminate()
+            conn.close()
+            process.join()
+            revoked += 1
+        return revoked
+
+    def finish(self) -> None:
+        # Idle workers stay warm for the suite's next search.
+        self.cancel(list(self._inflight))
+
+    def close(self) -> None:
+        self.finish()
+        for process, conn in self._idle:
+            # A plain conn.close() need not deliver EOF: workers forked
+            # later inherit duplicates of this pipe's parent end, so the
+            # idle worker's recv could outlive us.  Idle workers hold no
+            # state — terminate them.
+            process.terminate()
+            conn.close()
+            process.join()
+        self._idle = []
+
+
+_SHARED_RUNNER: PoolAttemptRunner | None = None
+
+
+def _close_shared_runner() -> None:  # pragma: no cover - atexit plumbing
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is not None:
+        _SHARED_RUNNER.close()
+        _SHARED_RUNNER = None
+
+
+atexit.register(_close_shared_runner)
+
+
+def default_runner(speculation: int) -> AttemptRunner:
+    """The runner a driver uses when none is injected.
+
+    A process-wide :class:`PoolAttemptRunner` is shared across searches
+    (suite runs schedule hundreds of loops; the shared runner carries
+    the sizing, growing if a later search asks for more workers).
+    Inside a daemonic worker of the ``repro.exec`` suite pool, nested
+    process creation is impossible — those get the
+    :class:`SerialAttemptRunner`, which produces identical results by
+    construction.
+    """
+    global _SHARED_RUNNER
+    if speculation <= 1 or multiprocessing.current_process().daemon:
+        return SerialAttemptRunner()
+    if _SHARED_RUNNER is not None and _SHARED_RUNNER.processes < speculation:
+        _SHARED_RUNNER.close()
+        _SHARED_RUNNER = None
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = PoolAttemptRunner(speculation)
+    return _SHARED_RUNNER
+
+
+# ----------------------------------------------------------------------
+# The speculative driver
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """What one speculative search established.
+
+    ``path`` is the serial-equivalent attempt sequence (the replayed
+    policy trajectory over real outcomes) — identical to what the
+    serial driver would have executed.  ``executed`` holds *every*
+    completed attempt in II order (speculative extras included), each
+    entry a ``search_trace`` dict with an ``on_path`` marker.  ``best``
+    is the lowest feasible II on the path, or ``None``.
+    """
+
+    best: FeasibleState | None
+    path: list[AttemptResult]
+    executed: list[dict]
+    stats: dict
+
+
+class SpeculativeSearchDriver:
+    """Races K candidate IIs of one search over an attempt runner.
+
+    Args:
+        machine: target configuration.
+        params: algorithm parameters; ``params.make_search_policy()``
+            drives both the committed path and the frontier prediction.
+        speculation: frontier width K (1 degenerates to the serial
+            search executed through the runner).
+        runner: attempt executor; defaults to :func:`default_runner`.
+        cache: per-attempt result cache — a
+            :class:`~repro.exec.cache.ResultCache`, ``True``/``False``,
+            or ``None`` to follow the environment (the same contract as
+            :func:`repro.exec.cache.resolve_cache`).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        params: MirsParams,
+        speculation: int,
+        runner: AttemptRunner | None = None,
+        cache=None,
+    ):
+        from repro.exec.cache import resolve_cache
+
+        self.machine = machine
+        self.params = params
+        self.speculation = max(1, speculation)
+        self.runner = runner if runner is not None else default_runner(
+            self.speculation
+        )
+        self.cache = resolve_cache(cache)
+
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        graph: DependenceGraph,
+        priorities: dict[int, float],
+        mii: int,
+        limit: int,
+    ) -> SearchResult:
+        """Run one full II search for ``graph``; see the module docstring."""
+        from repro.exec.hashing import canonical_graph, stable_hash
+
+        template = AttemptTask(
+            graph=graph,
+            machine=self.machine,
+            params=self.params,
+            ii=mii,
+            priorities=priorities,
+            graph_hash=stable_hash(canonical_graph(graph)),
+        )
+        policy = self.params.make_search_policy()
+        completed: dict[int, AttemptResult] = {}
+        launched = 0
+        cancelled = 0
+        cache_hits = 0
+        path: list[AttemptResult] = []
+
+        try:
+            while True:
+                path, attempted, needed = self._replay(
+                    policy, completed, mii, limit
+                )
+                if needed is None:
+                    break
+
+                # A completed feasible II retires every strictly-higher
+                # in-flight candidate (except the one the path still
+                # needs — a traffic jump can place it above a feasible
+                # II; revoked IIs may be re-submitted later).
+                best_done = min(
+                    (
+                        result.ii
+                        for result in completed.values()
+                        if result.outcome.scheduled
+                    ),
+                    default=None,
+                )
+                if best_done is not None:
+                    cancelled += self.runner.cancel(
+                        {
+                            ii
+                            for ii in self.runner.pending()
+                            if ii > best_done and ii != needed
+                        }
+                    )
+
+                hit_needed = False
+                for ii in self._frontier(
+                    policy, attempted, needed, completed, mii, limit
+                ):
+                    if ii in completed or ii in self.runner.pending():
+                        continue
+                    task = template.with_ii(ii)
+                    if self.cache is not None:
+                        hit = self.cache.get(task.cache_key())
+                        if isinstance(hit, AttemptResult):
+                            completed[ii] = hit
+                            cache_hits += 1
+                            if ii == needed:
+                                hit_needed = True
+                            continue
+                    self.runner.submit(task)
+                    launched += 1
+                if hit_needed:
+                    continue  # the cache satisfied the anchor: re-replay
+
+                for result in self.runner.wait(needed):
+                    completed[result.ii] = result
+                    if self.cache is not None:
+                        self.cache.put(
+                            template.with_ii(result.ii).cache_key(), result
+                        )
+        finally:
+            cancelled += self.runner.cancel(self.runner.pending())
+            self.runner.finish()
+
+        best: FeasibleState | None = None
+        for result in path:
+            if result.outcome.scheduled and result.feasible is not None:
+                if best is None or result.feasible.ii < best.ii:
+                    best = result.feasible
+        on_path = {result.ii for result in path}
+        executed = [
+            dict(
+                completed[ii].outcome.as_trace_entry(),
+                on_path=ii in on_path,
+            )
+            for ii in sorted(completed)
+        ]
+        return SearchResult(
+            best=best,
+            path=path,
+            executed=executed,
+            stats={
+                "speculation": self.speculation,
+                "runner": type(self.runner).__name__,
+                "serial_attempts": len(path),
+                "executed_attempts": len(completed),
+                "launched": launched,
+                "cancelled": cancelled,
+                "cache_hits": cache_hits,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _replay(self, policy, completed, mii, limit):
+        """Replay the policy over completed outcomes.
+
+        Returns ``(path, attempted, needed)``: the serial-equivalent
+        results consumed so far, the II set the replayed policy issued,
+        and the first II whose outcome is unknown (``None`` when the
+        replay ran the search to completion).
+        """
+        path: list[AttemptResult] = []
+        attempted: set[int] = set()
+        ii = policy.first_ii(mii, limit)
+        while ii is not None and mii <= ii <= limit and ii not in attempted:
+            attempted.add(ii)
+            result = completed.get(ii)
+            if result is None:
+                return path, attempted, ii
+            path.append(result)
+            ii = policy.next_ii(result.outcome)
+        return path, attempted, None
+
+    def _frontier(self, policy, attempted, needed, completed, mii, limit):
+        """The next K IIs worth racing, anchored at ``needed``.
+
+        ``policy`` arrives positioned right after the replay requested
+        ``needed``; the frontier extends it by feeding a conservative
+        synthetic failure (:func:`predicted_failure`) for each unknown
+        II — the policy object is discarded and replayed fresh next
+        round, so the speculative feeding never contaminates the
+        committed path.  Extension stops at a known-feasible completed
+        II (the search can only continue below it, and those IIs are
+        already attempted) — this bounds executed attempts by the
+        serial count plus K-1.
+        """
+        frontier = [needed]
+        ii = needed
+        while len(frontier) < self.speculation:
+            outcome = (
+                completed[ii].outcome
+                if ii in completed
+                else predicted_failure(ii)
+            )
+            if outcome.scheduled:
+                break
+            ii = policy.next_ii(outcome)
+            if ii is None or not (mii <= ii <= limit) or ii in attempted:
+                break
+            attempted.add(ii)
+            if ii not in completed:
+                frontier.append(ii)
+        return frontier

@@ -22,6 +22,14 @@ The driver below follows the paper's skeleton step by step::
     (7) Print(II, S);
     }
 
+The fixed-II inner loop (steps (1)-(6)) lives in
+:class:`repro.core.attempts.AttemptEngine`; this class drives the II
+search over it — serially (the paper's ladder, or any registered
+:class:`~repro.core.search.IISearchPolicy`), or speculatively racing K
+candidate IIs over a process pool
+(:class:`~repro.core.attempts.SpeculativeSearchDriver`) with
+bit-identical committed results.
+
 On a single-cluster machine steps C1/C2 degenerate (the cluster is always
 0 and no moves are ever needed) and the algorithm *is* MIRS [33], the
 non-clustered variant - exposed as :class:`Mirs` for clarity.
@@ -33,23 +41,23 @@ import dataclasses
 import time
 
 from repro.errors import ConvergenceError
-from repro.cluster.moves import add_move, next_needed_move
-from repro.cluster.selection import select_cluster
+from repro.core.attempts import (
+    AttemptEngine,
+    FeasibleState,
+    SpeculativeSearchDriver,
+)
 from repro.core.params import MirsParams, max_ii_for
 from repro.core.result import ScheduleResult
-from repro.core.scheduling import schedule_node
-from repro.core.search import AttemptOutcome, OutcomeKind
+from repro.core.search import AttemptOutcome
 from repro.core.state import SchedulerState, SchedulerStats
 from repro.core.verify import verify_schedule
-from repro.graph.ddg import DepKind, DependenceGraph
-from repro.graph.latency import edge_latency
+from repro.graph.ddg import DependenceGraph
 from repro.graph.mii import compute_mii
 from repro.machine.config import MachineConfig
 from repro.machine.resources import OpKind
 from repro.order.hrms import hrms_order
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.regalloc import allocate_registers
-from repro.spill.heuristics import check_and_insert_spill
 from repro.errors import SchedulingError
 
 
@@ -69,6 +77,10 @@ class MirsC:
             :class:`~repro.core.search.IISearchPolicy` instance.
             Overrides ``params.ii_search``; the default is the paper's
             linear ladder.
+        speculation: speculative II-search width K — overrides
+            ``params.speculation`` (``None`` keeps the param's own
+            resolution: field, then ``REPRO_SPECULATION``, then the
+            serial search).
     """
 
     def __init__(
@@ -78,14 +90,19 @@ class MirsC:
         verify: bool = True,
         strict: bool = True,
         search=None,
+        speculation: int | None = None,
     ):
         self.machine = machine
         self.params = params or MirsParams()
         if search is not None:
             self.params = dataclasses.replace(self.params, ii_search=search)
+        if speculation is not None:
+            self.params = dataclasses.replace(
+                self.params, speculation=speculation
+            )
         self.verify = verify
         self.strict = strict
-        self._bound_churn = self.params.effective_bound_eject_churn()
+        self._engine = AttemptEngine(machine, self.params)
 
     # ------------------------------------------------------------------
 
@@ -100,21 +117,31 @@ class MirsC:
         retained even when the policy goes on probing (bisection), so
         the accepted schedule never needs a re-run.  The full
         ``(ii, outcome)`` trace lands in ``result.stats.search_trace``.
+
+        With an effective speculation width K > 1 the same search runs
+        through the :class:`~repro.core.attempts.SpeculativeSearchDriver`
+        (K attempts raced concurrently, losers cancelled); the committed
+        result is fingerprint-identical by construction.
         """
         started = time.perf_counter()
         pristine = graph.clone()
         ordering = hrms_order(pristine, self.machine)
         mii = compute_mii(pristine, self.machine)
         limit = max_ii_for(mii, len(pristine), self.params)
-        policy = self.params.make_search_policy()
 
+        if self.params.effective_speculation() > 1:
+            return self._schedule_speculative(
+                pristine, ordering.priority, mii, limit, started
+            )
+
+        policy = self.params.make_search_policy()
         best: SchedulerState | None = None
         trace: list[AttemptOutcome] = []
         attempted: set[int] = set()
         ii = policy.first_ii(mii, limit)
         while ii is not None and mii <= ii <= limit and ii not in attempted:
             attempted.add(ii)
-            state, outcome = self._attempt(
+            state, outcome = self._engine.run(
                 pristine.clone(), ii, ordering.priority
             )
             trace.append(outcome)
@@ -126,13 +153,78 @@ class MirsC:
             # restarts counts the attempts that did not produce the
             # accepted schedule (= failed attempts under linear search).
             return self._finalize(
-                best, mii, len(trace) - 1, time.perf_counter() - started,
-                trace,
+                FeasibleState.from_state(best),
+                mii,
+                len(trace) - 1,
+                time.perf_counter() - started,
+                [o.as_trace_entry() for o in trace],
             )
+        return self._give_up(
+            pristine, mii, limit,
+            path_iis=[o.ii for o in trace],
+            trace_entries=[o.as_trace_entry() for o in trace],
+            elapsed=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _schedule_speculative(
+        self,
+        pristine: DependenceGraph,
+        priorities: dict[int, float],
+        mii: int,
+        limit: int,
+        started: float,
+    ) -> ScheduleResult:
+        driver = SpeculativeSearchDriver(
+            self.machine, self.params, self.params.effective_speculation()
+        )
+        found = driver.search(pristine, priorities, mii, limit)
+        elapsed = time.perf_counter() - started
+        if found.best is not None:
+            return self._finalize(
+                found.best,
+                mii,
+                len(found.path) - 1,
+                elapsed,
+                found.executed,
+                search_stats=found.stats,
+            )
+        return self._give_up(
+            pristine, mii, limit,
+            path_iis=[r.ii for r in found.path],
+            trace_entries=found.executed,
+            elapsed=elapsed,
+            search_stats=found.stats,
+        )
+
+    def _give_up(
+        self,
+        pristine: DependenceGraph,
+        mii: int,
+        limit: int,
+        *,
+        path_iis: list[int],
+        trace_entries: list[dict],
+        elapsed: float,
+        search_stats: dict | None = None,
+    ) -> ScheduleResult:
+        """Non-convergence: raise (strict) or report (non-strict).
+
+        ``path_iis`` is the serial-equivalent attempt sequence in search
+        order; under jumping policies its last element is *not* the
+        highest II probed (geometric backfill descends), so the error
+        carries both.
+        """
         if self.strict:
+            last_ii = path_iis[-1] if path_iis else mii
+            highest_ii = max(path_iis, default=mii)
             raise ConvergenceError(
-                f"MIRS-C failed to schedule {graph.name} within II <= {limit}",
-                last_ii=trace[-1].ii if trace else mii,
+                f"MIRS-C failed to schedule {pristine.name}: no feasible "
+                f"II found in {len(path_iis)} attempt(s) up to II="
+                f"{highest_ii} (last probed II={last_ii}, cap {limit})",
+                last_ii=last_ii,
+                highest_ii=highest_ii,
             )
         return ScheduleResult(
             loop=pristine.name,
@@ -140,45 +232,16 @@ class MirsC:
             converged=False,
             ii=limit,
             mii=mii,
-            restarts=len(trace),
-            scheduling_seconds=time.perf_counter() - started,
+            restarts=len(path_iis),
+            scheduling_seconds=elapsed,
             stats=SchedulerStats(
-                search_trace=[o.as_trace_entry() for o in trace]
+                search_trace=trace_entries,
+                search_stats=search_stats or {},
             ),
             trip_count=pristine.trip_count,
         )
 
     # ------------------------------------------------------------------
-
-    def _pressure_deficit(self, state: SchedulerState) -> dict[int, int]:
-        """Per-cluster ``MaxLive - AR`` (positive entries only)."""
-        available = state.machine.cluster.registers
-        if available is None:
-            return {}
-        return {
-            cluster: live - available
-            for cluster, live in sorted(state.pressure.max_live_all().items())
-            if live > available
-        }
-
-    def _outcome(
-        self, state: SchedulerState, kind: OutcomeKind, final_rounds: int = 0
-    ) -> AttemptOutcome:
-        suggested = state.ii + 1
-        if kind is OutcomeKind.TRAFFIC_INFEASIBLE:
-            suggested = state.suggested_restart_ii()
-        return AttemptOutcome(
-            ii=state.ii,
-            kind=kind,
-            pressure_deficit=(
-                {} if kind is OutcomeKind.SCHEDULED
-                else self._pressure_deficit(state)
-            ),
-            registers_available=state.machine.cluster.registers,
-            budget_left=state.budget,
-            suggested_ii=suggested,
-            final_rounds=final_rounds,
-        )
 
     def _attempt(
         self,
@@ -186,292 +249,38 @@ class MirsC:
         ii: int,
         priorities: dict[int, float],
     ) -> tuple[SchedulerState | None, AttemptOutcome]:
-        """One scheduling attempt at a fixed II.
-
-        Returns ``(state, outcome)``; ``state`` is ``None`` when the
-        attempt failed, and ``outcome`` records which of the step-(6)
-        restart conditions fired (plus the measured pressure deficit).
-        """
-        state = SchedulerState(graph, self.machine, ii, priorities, self.params)
-        final_rounds = 0
-        max_final_rounds = self.params.final_round_cap_for(
-            self.machine.clusters, len(graph)
-        )
-        placements_since_check = 0
-
-        while True:
-            if state.pl.empty():
-                # Steps (4)+(5) in the drained regime: true register
-                # allocation, then spill/balance/eject until it fits.
-                acted = self._checked_spill(state, final=True)
-                if state.pl.empty():
-                    if self._fits_registers(state):
-                        return state, self._outcome(
-                            state, OutcomeKind.SCHEDULED, final_rounds
-                        )
-                    final_rounds += 1
-                    if not acted:
-                        return None, self._outcome(
-                            state,
-                            OutcomeKind.REGISTER_INFEASIBLE,
-                            final_rounds,
-                        )
-                    if final_rounds > max_final_rounds:
-                        return None, self._outcome(
-                            state, OutcomeKind.ROUND_CAP, final_rounds
-                        )
-                    continue
-                if self._churned_out(state, max_final_rounds):
-                    return None, self._outcome(
-                        state, OutcomeKind.ROUND_CAP, final_rounds
-                    )
-
-            # Step (6): Restart_Schedule conditions.
-            if state.budget <= 0:
-                return None, self._outcome(
-                    state, OutcomeKind.BUDGET_EXHAUSTED, final_rounds
-                )
-            if state.memory_traffic_infeasible():
-                return None, self._outcome(
-                    state, OutcomeKind.TRAFFIC_INFEASIBLE, final_rounds
-                )
-
-            # Step (2): pick the highest-priority node.
-            node_id = state.pl.pop()
-            if node_id not in state.graph:
-                continue  # removed move still queued
-            if state.schedule.is_scheduled(node_id):
-                continue
-            node = state.graph.node(node_id)
-
-            if node.is_move:
-                self._reschedule_move(state, node_id)
-                state.budget -= 1
-                continue
-
-            # Step (C1): cluster selection.
-            cluster = select_cluster(state, node)
-
-            # Step (C2): insert and schedule the needed moves.
-            guard = 0
-            while True:
-                plan = next_needed_move(state, node, cluster)
-                if plan is None:
-                    break
-                move = add_move(state, plan)
-                schedule_node(state, move, plan.dst_cluster)
-                guard += 1
-                if guard > 4 * self.machine.clusters + 8:
-                    # Communication livelock: burn budget so the restart
-                    # rule eventually fires.
-                    state.budget -= guard
-                    break
-
-            # Step (3): schedule U itself.
-            schedule_node(state, node, cluster)
-
-            # Steps (4)+(5): register pressure check (gauged regime).
-            placements_since_check += 1
-            if (
-                placements_since_check >= self.params.spill_check_interval
-                or state.pl.empty()
-            ):
-                placements_since_check = 0
-                self._checked_spill(state, final=False)
-                if self._churned_out(state, max_final_rounds):
-                    return None, self._outcome(
-                        state, OutcomeKind.ROUND_CAP, final_rounds
-                    )
-            state.budget -= 1
+        """One scheduling attempt at a fixed II (delegates to the
+        extracted :class:`~repro.core.attempts.AttemptEngine`)."""
+        return self._engine.run(graph, ii, priorities)
 
     # ------------------------------------------------------------------
-
-    def _checked_spill(self, state: SchedulerState, *, final: bool) -> bool:
-        """Run the spill check, tracking eject-only churn when bounded.
-
-        With ``bound_eject_churn`` off (the paper-exact default) this is
-        exactly ``check_and_insert_spill``.  With it on, consecutive
-        checks whose only action was a critical-row ejection are
-        counted: an eject-and-replace cycle makes no measurable
-        progress (no spill, no balance move — the victim goes straight
-        back to the slot pool), yet the paper's driver bounds it only
-        by the restart budget, which takes thousands of placements to
-        drain.  The counter resets whenever a check spills or balances.
-        """
-        if not self._bound_churn:
-            return check_and_insert_spill(state, final=final)
-        stats = state.stats
-        progress_before = (
-            stats.spill_stores_added + stats.spill_loads_added
-            + stats.invariant_spills + stats.balance_shifts
-        )
-        ejections_before = stats.ejections
-        acted = check_and_insert_spill(state, final=final)
-        if acted:
-            progressed = (
-                stats.spill_stores_added + stats.spill_loads_added
-                + stats.invariant_spills + stats.balance_shifts
-            ) != progress_before
-            if progressed:
-                state.eject_churn_run = 0
-            elif stats.ejections > ejections_before:
-                state.eject_churn_run += 1
-        return acted
-
-    def _churned_out(self, state: SchedulerState, cap: int) -> bool:
-        """True when bounded eject-only churn exceeded the round cap."""
-        return self._bound_churn and state.eject_churn_run > cap
-
-    # ------------------------------------------------------------------
-
-    def _reschedule_move(self, state: SchedulerState, move_id: int) -> None:
-        """Re-place a move that was ejected by a resource conflict.
-
-        The paper re-validates communication decisions when operations
-        are picked up again: a move whose endpoints changed or vanished
-        is removed, and the ordinary Need_Move machinery recreates it
-        later if it is still required.
-        """
-        move = state.graph.node(move_id)
-        consumers = [
-            e.dst
-            for e in state.graph.out_edges(move_id)
-            if e.kind is DepKind.REG and state.schedule.is_scheduled(e.dst)
-        ]
-        if not consumers:
-            state.remove_move(move_id)
-            return
-
-        # The value must arrive where the consumer *reads* it: a consumer
-        # that is itself a move (a chained communication) reads in its
-        # declared source cluster, not in the cluster it executes in.
-        def read_cluster(consumer_id: int) -> int:
-            consumer = state.graph.node(consumer_id)
-            if consumer.is_move and consumer.src_cluster is not None:
-                return consumer.src_cluster
-            return state.schedule.cluster(consumer_id)
-
-        dst_cluster = read_cluster(consumers[0])
-        # One move serves one destination cluster.  Consumers re-placed
-        # into *other* clusters while this move sat unscheduled would be
-        # silently left reading cross-cluster by whatever is decided
-        # below (removal reconnects them straight to the producer);
-        # eject them instead, so the ordinary Need_Move machinery
-        # re-creates their communication when they are picked up again.
-        # (Surfaced by the paper-scale suite: reduction loops on the
-        # clustered machines.)
-        for consumer_id in consumers[1:]:
-            if state.schedule.is_scheduled(consumer_id) and (
-                read_cluster(consumer_id) != dst_cluster
-            ):
-                state.eject_node(consumer_id)
-        if move.move_of_invariant is None:
-            producers = [
-                e.src
-                for e in state.graph.in_edges(move_id)
-                if e.kind is DepKind.REG
-            ]
-            if not producers or not state.schedule.is_scheduled(producers[0]):
-                state.remove_move(move_id)
-                return
-            src_cluster = state.schedule.cluster(producers[0])
-            if src_cluster == dst_cluster:
-                # Removal reconnects the (scheduled) consumers straight
-                # to the (scheduled) producer; while the move sat off
-                # schedule its chain imposed no timing constraint, so
-                # the merged direct edge may be violated at the current
-                # placements.  Eject such consumers - they re-place
-                # against the restored dependence.  (Also surfaced by
-                # the paper-scale suite.)
-                state.remove_move(move_id)
-                self._eject_violated_consumers(
-                    state, producers[0], consumers
-                )
-                return
-            move.src_cluster = src_cluster
-        schedule_node(state, move, dst_cluster)
-
-    def _eject_violated_consumers(
-        self, state: SchedulerState, producer: int, consumers: list[int]
-    ) -> None:
-        """Eject scheduled consumers whose direct edge from ``producer``
-        is violated (used after a move removal merges edges between
-        scheduled endpoints)."""
-        schedule = state.schedule
-        if not schedule.is_scheduled(producer):
-            return
-        start = schedule.time(producer)
-        ii = state.ii
-        for consumer_id in dict.fromkeys(consumers):
-            if consumer_id == producer:
-                continue
-            if not schedule.is_scheduled(consumer_id):
-                continue
-            consumer_time = schedule.time(consumer_id)
-            for edge in state.graph.out_edges(producer):
-                if edge.dst != consumer_id:
-                    continue
-                latency = edge_latency(state.graph, edge, state.machine)
-                if consumer_time - start - latency + ii * edge.distance < 0:
-                    state.eject_node(consumer_id)
-                    break
-
-    # ------------------------------------------------------------------
-
-    def _fits_registers(self, state: SchedulerState) -> bool:
-        available = state.machine.cluster.registers
-        if available is None:
-            return True
-        # MaxLive is a lower bound on the allocation (the colouring
-        # never beats it), so an over-budget cluster fails without
-        # running the allocator; the exact colouring only arbitrates the
-        # fitting side (footnote 2: MaxLive occasionally underestimates).
-        if any(
-            live > available
-            for live in state.pressure.max_live_all().values()
-        ):
-            return False
-        if state.colouring is not None:
-            # Incremental path: per-cluster counts from the engine's
-            # caches (only clusters whose lifetimes changed recolour).
-            return all(
-                used <= available
-                for used in state.colouring.registers_used_all().values()
-            )
-        allocations = allocate_registers(
-            state.graph,
-            state.schedule,
-            state.machine,
-            state.pressure,
-            spilled_invariants=state.spilled_invariants,
-        )
-        return all(
-            alloc.registers_used <= available
-            for alloc in allocations.values()
-        )
 
     def _finalize(
         self,
-        state: SchedulerState,
+        feasible: FeasibleState,
         mii: int,
         restarts: int,
         elapsed: float,
-        trace: list[AttemptOutcome] | None = None,
+        trace_entries: list[dict] | None = None,
+        search_stats: dict | None = None,
     ) -> ScheduleResult:
-        graph = state.graph
-        schedule = state.schedule
-        if trace is not None:
-            state.stats.search_trace = [o.as_trace_entry() for o in trace]
+        graph = feasible.graph
+        schedule = feasible.schedule
+        stats = feasible.stats
+        if trace_entries is not None:
+            stats.search_trace = trace_entries
+        if search_stats is not None:
+            stats.search_stats = search_stats
         # Batch role: the result is summarised with a from-scratch
-        # analysis (and the tracker stops observing the finished graph).
-        state.pressure.detach()
+        # analysis (the live pressure tracker was already detached when
+        # the feasible state was captured).
         analysis = LifetimeAnalysis(
-            graph, schedule, state.machine,
-            spilled_invariants=state.spilled_invariants,
+            graph, schedule, self.machine,
+            spilled_invariants=feasible.spilled_invariants,
         )
         allocations = allocate_registers(
-            graph, schedule, state.machine, analysis,
-            spilled_invariants=state.spilled_invariants,
+            graph, schedule, self.machine, analysis,
+            spilled_invariants=feasible.spilled_invariants,
         )
         times = {n: schedule.time(n) for n in schedule.scheduled_ids()}
         clusters = {n: schedule.cluster(n) for n in schedule.scheduled_ids()}
@@ -480,18 +289,18 @@ class MirsC:
         }
         result = ScheduleResult(
             loop=graph.name,
-            machine=state.machine,
+            machine=self.machine,
             converged=True,
-            ii=state.ii,
+            ii=feasible.ii,
             mii=mii,
             times=times,
             clusters=clusters,
             register_usage=register_usage,
             max_live={
                 c: analysis.max_live(c)
-                for c in range(state.machine.clusters)
+                for c in range(self.machine.clusters)
             },
-            memory_traffic=state.memory_operation_count(),
+            memory_traffic=feasible.memory_traffic,
             spill_operations=sum(
                 1 for n in graph.nodes() if n.is_spill
             ),
@@ -499,15 +308,15 @@ class MirsC:
             stage_count=max(1, schedule.stage_count()),
             restarts=restarts,
             scheduling_seconds=elapsed,
-            stats=state.stats,
+            stats=stats,
             graph=graph,
             trip_count=graph.trip_count,
         )
         if self.verify:
             violations = verify_schedule(
                 graph,
-                state.machine,
-                state.ii,
+                self.machine,
+                feasible.ii,
                 times,
                 clusters,
                 register_usage,
@@ -535,6 +344,7 @@ class Mirs(MirsC):
         verify: bool = True,
         strict: bool = True,
         search=None,
+        speculation: int | None = None,
     ):
         if machine.clusters != 1:
             raise SchedulingError(
@@ -543,5 +353,5 @@ class Mirs(MirsC):
             )
         super().__init__(
             machine, params=params, verify=verify, strict=strict,
-            search=search,
+            search=search, speculation=speculation,
         )

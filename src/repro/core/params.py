@@ -20,9 +20,15 @@ the paper defers to [33].
 from __future__ import annotations
 
 import dataclasses
+import os
+import warnings
 
 from repro.core.search import canonical_search, make_policy
 from repro.errors import ConfigError
+
+#: Environment fallback for :attr:`MirsParams.speculation` (the CLI flag
+#: and the explicit field win over it).
+SPECULATION_ENV = "REPRO_SPECULATION"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +78,13 @@ class MirsParams:
     #: ``LinearSearch`` leaves it off; the jumping policies turn it on —
     #: see :mod:`repro.core.search`).
     bound_eject_churn: bool | None = None
+    #: Speculative II-search width: how many candidate IIs the driver
+    #: races concurrently (see :mod:`repro.core.attempts`).  ``1`` is
+    #: the serial search; ``None`` defers to the ``REPRO_SPECULATION``
+    #: environment variable and then to 1.  The committed schedule is
+    #: fingerprint-identical for every K by construction — K only
+    #: changes wall-clock time and the ``search_trace`` diagnostics.
+    speculation: int | None = None
     #: Serve the drained-regime register allocation from the
     #: incremental :class:`~repro.schedule.colouring.IncrementalArcColouring`
     #: engine (register-count-identical to the batch ``_colour_arcs``
@@ -89,6 +102,8 @@ class MirsParams:
             raise ConfigError("gauges must be non-negative")
         if self.final_round_cap is not None and self.final_round_cap < 1:
             raise ConfigError("final round cap must be at least 1")
+        if self.speculation is not None and self.speculation < 1:
+            raise ConfigError("speculation width must be at least 1")
         make_policy(self.ii_search)  # fail fast on unknown policies
 
     def make_search_policy(self):
@@ -102,6 +117,28 @@ class MirsParams:
         return bool(
             getattr(make_policy(self.ii_search), "bound_eject_churn", False)
         )
+
+    def effective_speculation(self) -> int:
+        """Resolve the speculative search width (field, env, then 1).
+
+        A malformed ``REPRO_SPECULATION`` warns and falls back to the
+        serial search rather than killing a run.
+        """
+        if self.speculation is not None:
+            return self.speculation
+        value = os.environ.get(SPECULATION_ENV)
+        if not value:
+            return 1
+        try:
+            return max(1, int(value))
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed {SPECULATION_ENV}={value!r}; "
+                "searching serially (speculation=1)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
 
     def final_round_cap_for(self, clusters: int, node_count: int) -> int:
         """Drained-regime round cap for one attempt.
@@ -131,6 +168,7 @@ class MirsParams:
         # None in the key would alias "policy default" with whichever
         # explicit setting happens to match it.
         payload["bound_eject_churn"] = self.effective_bound_eject_churn()
+        payload["speculation"] = self.effective_speculation()
         return payload
 
 

@@ -1,0 +1,266 @@
+"""One resolution path for *what* to schedule and *how* to execute it.
+
+Historically every entry point grew its own keyword sprawl: the CLI,
+:func:`repro.eval.runner.schedule_suite`, the seven experiment drivers
+and :func:`repro.exec.engine.make_engine` each accepted some subset of
+``scheduler=``, ``params=``, ``search=``, ``jobs=``, ``cache=`` and
+``executor=``, folding them together in slightly different orders.  The
+speculative II search (``speculation=``) would have been the seventh
+such kwarg on every signature.
+
+Two small dataclasses replace the sprawl:
+
+* :class:`ScheduleRequest` — the *scheduling problem* side: which
+  scheduler, with which parameters, searching IIs how and how wide.
+  ``resolved_params()`` folds ``search``/``speculation`` into a single
+  :class:`~repro.core.params.MirsParams`, so cache keys, worker
+  processes and the CLI all agree on one canonical parameter set.
+* :class:`SessionConfig` — the *execution session* side: worker count,
+  result cache and progress callback, or a pre-built
+  :class:`~repro.exec.engine.SuiteExecutor`.  ``make_executor()`` is
+  memoized, so one session threaded through many driver calls keeps a
+  single executor whose stats accumulate.
+
+The old keywords keep working everywhere through
+:func:`fold_legacy_request` / :func:`fold_legacy_session`, which emit a
+:class:`DeprecationWarning` and merge the legacy values into the new
+objects (raising :class:`~repro.errors.ConfigError` only on a genuine
+conflict between the two spellings).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+from repro.core.params import MirsParams
+from repro.errors import ConfigError
+
+#: Sentinel distinguishing "keyword not passed" from an explicit
+#: ``None`` (both ``params=None`` and ``jobs=None`` were meaningful
+#: values under the legacy signatures).
+_UNSET = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleRequest:
+    """What to schedule: scheduler, parameters, II search, speculation.
+
+    ``search`` and ``speculation`` are conveniences layered over
+    ``params`` (they fold into ``ii_search``/``speculation`` fields via
+    :meth:`resolved_params`); specifying a field both ways is a
+    :class:`~repro.errors.ConfigError` rather than a silent override.
+    """
+
+    scheduler: str = "mirsc"
+    params: MirsParams | None = None
+    #: II-search policy (registered name or policy instance); folded
+    #: into ``params.ii_search`` by :meth:`resolved_params`.
+    search: object | None = None
+    #: Speculative II-search width K; folded into ``params.speculation``.
+    speculation: int | None = None
+
+    @classmethod
+    def coerce(cls, value) -> "ScheduleRequest":
+        """Accept the shorthands callers naturally reach for.
+
+        ``None`` → defaults; a string → scheduler name (the historical
+        third positional of ``schedule_suite``); a
+        :class:`~repro.core.params.MirsParams` → parameters for the
+        default scheduler; a request passes through unchanged.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(scheduler=value)
+        if isinstance(value, MirsParams):
+            return cls(params=value)
+        raise ConfigError(
+            f"cannot interpret {value!r} as a ScheduleRequest "
+            "(expected None, a scheduler name, MirsParams or a request)"
+        )
+
+    def resolved_params(self) -> MirsParams | None:
+        """Fold ``search``/``speculation`` into one parameter set.
+
+        Returns ``None`` when nothing was specified, preserving the
+        ``params is None`` ≡ ``MirsParams()`` convention of the cache
+        keys.
+        """
+        params = self.params
+        if self.search is not None:
+            existing = params is not None and params.ii_search != "linear"
+            if existing and params.ii_search != self.search:
+                raise ConfigError(
+                    "ScheduleRequest: ii_search given both in params "
+                    "and as search="
+                )
+            params = dataclasses.replace(
+                params or MirsParams(), ii_search=self.search
+            )
+        if self.speculation is not None:
+            if (
+                params is not None
+                and params.speculation is not None
+                and params.speculation != self.speculation
+            ):
+                raise ConfigError(
+                    "ScheduleRequest: speculation given both in params "
+                    "and as speculation="
+                )
+            params = dataclasses.replace(
+                params or MirsParams(), speculation=self.speculation
+            )
+        return params
+
+    def make_scheduler(self, machine, *, verify: bool = True, strict: bool = True):
+        """Instantiate the requested scheduler for one machine."""
+        # Imported lazily: worker processes import this module before
+        # they know which scheduler they will run, and the baseline
+        # import is pointless for MIRS-C-only sessions.
+        from repro.baseline.noniterative import NonIterativeScheduler
+        from repro.core.mirsc import MirsC
+
+        params = self.resolved_params()
+        if self.scheduler == "mirsc":
+            return MirsC(machine, params=params, verify=verify, strict=strict)
+        if self.scheduler == "baseline":
+            return NonIterativeScheduler(machine, params=params)
+        raise ValueError(f"unknown scheduler {self.scheduler!r}")
+
+
+@dataclasses.dataclass
+class SessionConfig:
+    """How to execute: workers, cache, progress — one executor per session.
+
+    Mutable on purpose: :meth:`make_executor` memoizes the built
+    :class:`~repro.exec.engine.SuiteExecutor` in ``executor``, so a
+    session object threaded through several driver calls accumulates
+    stats in a single place (exactly like passing one executor
+    everywhere used to).
+    """
+
+    jobs: int | None = None
+    cache: object = None
+    progress: object = None
+    executor: object = None
+
+    @classmethod
+    def coerce(cls, value) -> "SessionConfig":
+        """Accept ``None``, a session, or a bare ``SuiteExecutor``."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        from repro.exec.engine import SuiteExecutor
+
+        if isinstance(value, SuiteExecutor):
+            return cls(executor=value)
+        raise ConfigError(
+            f"cannot interpret {value!r} as a SessionConfig "
+            "(expected None, a SessionConfig or a SuiteExecutor)"
+        )
+
+    def make_executor(self):
+        """The session's executor (built once, then reused)."""
+        if self.executor is None:
+            from repro.exec.engine import SuiteExecutor
+
+            self.executor = SuiteExecutor(
+                jobs=self.jobs, cache=self.cache, progress=self.progress
+            )
+        return self.executor
+
+
+# ----------------------------------------------------------------------
+# Legacy-keyword shims
+# ----------------------------------------------------------------------
+
+
+def _warn_legacy(api: str, names) -> None:
+    warnings.warn(
+        f"{api}: keyword(s) {', '.join(sorted(names))} are deprecated; "
+        "pass a ScheduleRequest (scheduler/params/search/speculation) "
+        "and/or a SessionConfig (jobs/cache/progress/executor) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _merge(api: str, obj, legacy: dict, defaults: dict):
+    """Merge legacy keyword values into a request/session dataclass.
+
+    Legacy values fill fields still at their default; a field set both
+    on the object and via a (different) legacy keyword is a conflict.
+    """
+    updates = {}
+    for field, value in legacy.items():
+        current = getattr(obj, field)
+        if current != defaults[field] and current != value:
+            raise ConfigError(
+                f"{api}: {field} given both in the new-style object "
+                "and as a deprecated keyword"
+            )
+        updates[field] = value
+    return dataclasses.replace(obj, **updates)
+
+
+def fold_legacy_request(
+    api: str,
+    request,
+    *,
+    scheduler=_UNSET,
+    params=_UNSET,
+    search=_UNSET,
+    speculation=_UNSET,
+) -> ScheduleRequest:
+    """Resolve a ``request`` argument plus deprecated scheduling kwargs."""
+    legacy = {
+        name: value
+        for name, value in (
+            ("scheduler", scheduler),
+            ("params", params),
+            ("search", search),
+            ("speculation", speculation),
+        )
+        if value is not _UNSET
+    }
+    req = ScheduleRequest.coerce(request)
+    if not legacy:
+        return req
+    _warn_legacy(api, legacy)
+    defaults = {
+        "scheduler": "mirsc", "params": None, "search": None,
+        "speculation": None,
+    }
+    return _merge(api, req, legacy, defaults)
+
+
+def fold_legacy_session(
+    api: str,
+    session,
+    *,
+    jobs=_UNSET,
+    cache=_UNSET,
+    progress=_UNSET,
+    executor=_UNSET,
+) -> SessionConfig:
+    """Resolve a ``session`` argument plus deprecated execution kwargs."""
+    legacy = {
+        name: value
+        for name, value in (
+            ("jobs", jobs),
+            ("cache", cache),
+            ("progress", progress),
+            ("executor", executor),
+        )
+        if value is not _UNSET
+    }
+    cfg = SessionConfig.coerce(session)
+    if not legacy:
+        return cfg
+    _warn_legacy(api, legacy)
+    defaults = {"jobs": None, "cache": None, "progress": None, "executor": None}
+    return _merge(api, cfg, legacy, defaults)

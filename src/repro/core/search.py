@@ -129,6 +129,26 @@ class AttemptOutcome:
         }
 
 
+def predicted_failure(ii: int) -> AttemptOutcome:
+    """A conservative synthetic failure outcome for frontier prediction.
+
+    The speculative driver (:mod:`repro.core.attempts`) must guess
+    which IIs a policy will request *before* the anchoring attempt
+    completes.  A budget-exhausted outcome with no measured deficit and
+    the minimal ``suggested_ii`` makes every built-in policy take its
+    smallest forward step (linear and a latched geometric: ``II + 1``;
+    bisection's ascent: the growth step), so the predicted frontier
+    matches the serial trajectory whenever attempts fail "ordinarily"
+    and is merely conservative (wasted speculation, never a wrong
+    committed result) when they do not.  The policy object fed these is
+    replayed fresh from :meth:`IISearchPolicy.first_ii` before the next
+    frontier, so synthetic outcomes never contaminate the real path.
+    """
+    return AttemptOutcome(
+        ii=ii, kind=OutcomeKind.BUDGET_EXHAUSTED, suggested_ii=ii + 1
+    )
+
+
 @runtime_checkable
 class IISearchPolicy(Protocol):
     """The II-search contract the MIRS-C driver programs against.

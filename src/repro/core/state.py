@@ -46,8 +46,17 @@ class SchedulerStats:
     #: (:meth:`repro.core.search.AttemptOutcome.as_trace_entry` dicts).
     #: Diagnostic, like ``scheduling_seconds``: excluded from result
     #: fingerprints so the default policy stays fingerprint-identical
-    #: to the pre-policy scheduler.
+    #: to the pre-policy scheduler.  Under the speculative driver the
+    #: entries cover *every executed* attempt in II order (speculative
+    #: extras included), each carrying an ``on_path`` marker.
     search_trace: list[dict] = dataclasses.field(default_factory=list)
+    #: Speculative-search accounting (frontier width, launched /
+    #: executed / cancelled attempt counts — see
+    #: :class:`repro.core.attempts.SpeculativeSearchDriver`); empty for
+    #: the serial driver.  Diagnostic like ``search_trace``: excluded
+    #: from result fingerprints, so speculative and serial runs stay
+    #: fingerprint-identical.
+    search_stats: dict = dataclasses.field(default_factory=dict)
 
 
 class SchedulerState:

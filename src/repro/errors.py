@@ -31,11 +31,23 @@ class ConvergenceError(SchedulingError):
     on register-constrained configurations (Table 2, column "Not Cnvr");
     MIRS-C itself is expected never to raise it because spilling always
     provides an escape hatch.
+
+    Attributes:
+        last_ii: the II of the *last attempt in search order* — under a
+            jumping policy (geometric backfill probes descend) this is
+            not the largest II probed.
+        highest_ii: the largest II actually probed by the search.
     """
 
-    def __init__(self, message: str, last_ii: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        last_ii: int | None = None,
+        highest_ii: int | None = None,
+    ):
         super().__init__(message)
         self.last_ii = last_ii
+        self.highest_ii = highest_ii if highest_ii is not None else last_ii
 
 
 class AllocationError(ReproError):

@@ -9,8 +9,17 @@ reproduction compares with the paper's published numbers.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.params import MirsParams
-from repro.eval.runner import SuiteRun, schedule_suite, with_search
+from repro.core.request import (
+    _UNSET,
+    ScheduleRequest,
+    SessionConfig,
+    fold_legacy_request,
+    fold_legacy_session,
+)
+from repro.eval.runner import SuiteRun, schedule_suite
 from repro.exec.engine import SuiteExecutor
 from repro.machine.config import (
     parse_config,
@@ -75,13 +84,18 @@ def table1_rows(
     loops: tuple[SuiteLoop, ...],
     clusters: tuple[int, ...] = (1, 2, 4),
     move_latencies: tuple[int, ...] = (1, 3),
-    params: MirsParams | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    request: ScheduleRequest | MirsParams | None = None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Table 1: unbounded registers - schedule quality head to head."""
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
+    request = fold_legacy_request(
+        "table1_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("table1_rows", session, executor=executor)
     headers = [
         "k", "Lm", "loops", "not different", "different",
         "sum II [31]", "sum II MIRS-C", "II ratio",
@@ -90,8 +104,16 @@ def table1_rows(
     for k in clusters:
         for lm in move_latencies:
             machine = paper_configuration(k, None, move_latency=lm)
-            base = schedule_suite(machine, loops, "baseline", params, executor=executor)
-            ours = schedule_suite(machine, loops, "mirsc", params, executor=executor)
+            base = schedule_suite(
+                machine, loops,
+                dataclasses.replace(request, scheduler="baseline"),
+                session=session,
+            )
+            ours = schedule_suite(
+                machine, loops,
+                dataclasses.replace(request, scheduler="mirsc"),
+                session=session,
+            )
             common = base.converged_indices() & ours.converged_indices()
             different = _differing(base, ours, common)
             sum_base = base.sum_ii(different)
@@ -115,13 +137,18 @@ def table2_rows(
     clusters: tuple[int, ...] = (1, 2, 4),
     move_latencies: tuple[int, ...] = (1, 3),
     total_registers: int = 64,
-    params: MirsParams | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    request: ScheduleRequest | MirsParams | None = None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Table 2: register files constrained to k x z = 64 in total."""
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
+    request = fold_legacy_request(
+        "table2_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("table2_rows", session, executor=executor)
     headers = [
         "k", "Lm", "not cnvr [31]", "different",
         "sum II [31]", "sum II MIRS-C", "II ratio",
@@ -132,8 +159,16 @@ def table2_rows(
         z = total_registers // k
         for lm in move_latencies:
             machine = paper_configuration(k, z, move_latency=lm)
-            base = schedule_suite(machine, loops, "baseline", params, executor=executor)
-            ours = schedule_suite(machine, loops, "mirsc", params, executor=executor)
+            base = schedule_suite(
+                machine, loops,
+                dataclasses.replace(request, scheduler="baseline"),
+                session=session,
+            )
+            ours = schedule_suite(
+                machine, loops,
+                dataclasses.replace(request, scheduler="mirsc"),
+                session=session,
+            )
             common = base.converged_indices() & ours.converged_indices()
             different = _differing(base, ours, common)
             sum_ii_base = base.sum_ii(different)
@@ -159,9 +194,12 @@ def table2_rows(
 def table3_rows(
     loops: tuple[SuiteLoop, ...],
     move_latencies: tuple[int, ...] = (1, 3),
-    params: MirsParams | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    request: ScheduleRequest | MirsParams | None = None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Table 3: scheduling time of [31] vs MIRS-C.
 
@@ -170,8 +208,10 @@ def table3_rows(
     covers only the loops it converges on (the paper's footnote), while
     MIRS-C also pays for the loops [31] gives up on.
     """
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
+    request = fold_legacy_request(
+        "table3_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("table3_rows", session, executor=executor)
     configs: list[tuple[int, int | None]] = [
         (1, None), (1, 64), (2, None), (2, 32), (4, None), (4, 16),
     ]
@@ -183,8 +223,16 @@ def table3_rows(
     for k, z in configs:
         for lm in move_latencies:
             machine = paper_configuration(k, z, move_latency=lm)
-            base = schedule_suite(machine, loops, "baseline", params, executor=executor)
-            ours = schedule_suite(machine, loops, "mirsc", params, executor=executor)
+            base = schedule_suite(
+                machine, loops,
+                dataclasses.replace(request, scheduler="baseline"),
+                session=session,
+            )
+            ours = schedule_suite(
+                machine, loops,
+                dataclasses.replace(request, scheduler="mirsc"),
+                session=session,
+            )
             common = base.converged_indices()
             label = f"{k} x {'inf' if z is None else z}"
             rows.append(
@@ -213,15 +261,20 @@ def figure5_rows(
     clusters: tuple[int, ...] = (1, 2, 4),
     registers: tuple[int, ...] = (16, 32, 64, 128),
     move_latencies: tuple[int, ...] = (1, 3),
-    params: MirsParams | None = None,
+    request: ScheduleRequest | MirsParams | None = None,
     technology: TechnologyModel | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Figure 5: execution cycles, memory traffic and execution time."""
     technology = technology or TechnologyModel()
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
+    request = fold_legacy_request(
+        "figure5_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("figure5_rows", session, executor=executor)
     headers = [
         "Lm", "k", "regs/cluster",
         "exec cycles (M)", "memory ops (M)", "exec time (ms)",
@@ -232,7 +285,7 @@ def figure5_rows(
             for z in registers:
                 machine = paper_configuration(k, z, move_latency=lm)
                 run = schedule_suite(
-                    machine, loops, "mirsc", params, executor=executor
+                    machine, loops, request, session=session
                 )
                 cycles = run.sum_cycles()
                 mem_ops = sum(
@@ -264,13 +317,18 @@ def figure6_rows(
     loops: tuple[SuiteLoop, ...],
     clusters: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
     bus_counts: tuple[int | None, ...] = (2, 3, 4, None),
-    params: MirsParams | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    request: ScheduleRequest | MirsParams | None = None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Figure 6: replicate a GP2M1-REG32 cluster k times, sweep buses."""
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
+    request = fold_legacy_request(
+        "figure6_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("figure6_rows", session, executor=executor)
     headers = ["buses", "k", "sum cycles (M)", "speedup vs k=1"]
     rows: list[list] = []
     for buses in bus_counts:
@@ -278,7 +336,7 @@ def figure6_rows(
         for k in clusters:
             machine = scalability_configuration(k, buses=buses)
             run = schedule_suite(
-                machine, loops, "mirsc", params, executor=executor
+                machine, loops, request, session=session
             )
             cycles = run.sum_cycles()
             if k == clusters[0]:
@@ -308,9 +366,12 @@ def simulator_rows(
     loops: tuple[SuiteLoop, ...],
     configs: tuple[str, ...] = ("1-(GP8M4-REG64)", "4-(GP2M1-REG16)"),
     iterations: int = 50,
-    params: MirsParams | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    request: ScheduleRequest | MirsParams | None = None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Measured (simulated) vs analytic (memsim) cycles per loop.
 
@@ -328,9 +389,12 @@ def simulator_rows(
     """
     from repro.sim import run_differential
 
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
-    cache = executor.cache if executor.cache is not None else False
+    request = fold_legacy_request(
+        "simulator_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("simulator_rows", session, executor=executor)
+    suite_executor = session.make_executor()
+    cache = suite_executor.cache if suite_executor.cache is not None else False
     memory = MemoryModel()
     headers = [
         "config", "loop", "II", "SC", "iters",
@@ -340,7 +404,7 @@ def simulator_rows(
     rows: list[list] = []
     for config in configs:
         machine = parse_config(config)
-        run = schedule_suite(machine, loops, "mirsc", params, executor=executor)
+        run = schedule_suite(machine, loops, request, session=session)
         for result in run.converged:
             report = run_differential(result, iterations, cache=cache)
             sim = report.simulation
@@ -375,16 +439,21 @@ def figure7_rows(
     configs: tuple[tuple[int, int], ...] = (
         (1, 64), (1, 128), (2, 32), (2, 64), (4, 32), (4, 64),
     ),
-    params: MirsParams | None = None,
+    request: ScheduleRequest | MirsParams | None = None,
     technology: TechnologyModel | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    *,
+    params: MirsParams | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
 ) -> Rows:
     """Figure 7: useful/stall cycles and execution time, with and without
     selective binding prefetching."""
     technology = technology or TechnologyModel()
-    executor = executor or SuiteExecutor()
-    params = with_search(params, search)
+    request = fold_legacy_request(
+        "figure7_rows", request, params=params, search=search
+    )
+    session = fold_legacy_session("figure7_rows", session, executor=executor)
     memory = MemoryModel(technology)
     headers = [
         "mode", "k", "regs/cluster",
@@ -394,7 +463,7 @@ def figure7_rows(
     # latency scheduling (the paper's reference configuration).
     reference_machine = paper_configuration(1, 64)
     reference = schedule_suite(
-        reference_machine, loops, "mirsc", params, executor=executor
+        reference_machine, loops, request, session=session
     )
     ref_useful = float(reference.sum_cycles()) or 1.0
     ref_time = technology.execution_time_ns(reference_machine, ref_useful)
@@ -411,7 +480,7 @@ def figure7_rows(
             else:
                 graphs = None
             run = schedule_suite(
-                machine, loops, "mirsc", params, graphs=graphs, executor=executor
+                machine, loops, request, graphs, session=session
             )
             useful = 0.0
             stall = 0.0

@@ -5,6 +5,13 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.params import MirsParams
+from repro.core.request import (
+    _UNSET,
+    ScheduleRequest,
+    SessionConfig,
+    fold_legacy_request,
+    fold_legacy_session,
+)
 from repro.core.result import ScheduleResult
 from repro.exec.cache import ResultCache
 from repro.exec.engine import SuiteExecutor, int_env
@@ -103,43 +110,56 @@ class SuiteRun:
 def schedule_suite(
     machine: MachineConfig,
     loops: tuple[SuiteLoop, ...] | list[SuiteLoop],
-    scheduler: str = "mirsc",
-    params: MirsParams | None = None,
+    request: ScheduleRequest | str | None = None,
     graphs=None,
     *,
-    jobs: int | None = None,
-    cache: ResultCache | bool | None = None,
-    executor: SuiteExecutor | None = None,
-    search=None,
+    session: SessionConfig | SuiteExecutor | None = None,
+    scheduler: str = _UNSET,
+    params: MirsParams | None = _UNSET,
+    jobs: int | None = _UNSET,
+    cache: ResultCache | bool | None = _UNSET,
+    executor: SuiteExecutor | None = _UNSET,
+    search=_UNSET,
+    speculation: int | None = _UNSET,
 ) -> SuiteRun:
     """Run one scheduler over a workbench subset.
 
     Thin wrapper over :class:`repro.exec.engine.SuiteExecutor`; with the
-    defaults (``jobs=1``, no cache) it reproduces the historical
-    sequential code path exactly.
+    defaults it reproduces the historical sequential code path exactly.
 
     Args:
         machine: target configuration.
         loops: workbench loops.
-        scheduler: ``"mirsc"`` or ``"baseline"``.
-        params: algorithm parameters.
+        request: what to schedule — a
+            :class:`~repro.core.request.ScheduleRequest`, a bare
+            scheduler name (``"mirsc"``/``"baseline"``) or ``None`` for
+            the defaults.
         graphs: optional per-loop replacement graphs (used by the
             prefetching experiments, which re-latency the loads).
-        jobs: worker processes (``None``: ``REPRO_JOBS`` env or 1).
-        cache: result cache selector (see
-            :func:`repro.exec.cache.resolve_cache`).
-        executor: a pre-built executor; overrides ``jobs``/``cache`` and
-            accumulates stats across calls.
-        search: II-search policy (name or instance) folded into
-            ``params``; participates in the cache keys like any other
-            parameter.
+        session: how to execute — a
+            :class:`~repro.core.request.SessionConfig` (jobs, cache,
+            progress) or a pre-built executor; reuse one session across
+            calls to accumulate stats in a single executor.
+
+    The remaining keywords (``scheduler``, ``params``, ``jobs``,
+    ``cache``, ``executor``, ``search``, ``speculation``) are the
+    pre-request spellings; they still work but raise a
+    :class:`DeprecationWarning` and fold into ``request``/``session``.
     """
-    params = with_search(params, search)
-    if executor is None:
-        executor = SuiteExecutor(jobs=jobs, cache=cache)
-    results = executor.run(
-        machine, loops, scheduler=scheduler, params=params, graphs=graphs
+    if isinstance(graphs, MirsParams):
+        # Historical 4th positional was params; fold it in with the same
+        # deprecation story as the keyword spelling.
+        params = graphs
+        graphs = None
+    request = fold_legacy_request(
+        "schedule_suite", request,
+        scheduler=scheduler, params=params, search=search,
+        speculation=speculation,
     )
+    session = fold_legacy_session(
+        "schedule_suite", session, jobs=jobs, cache=cache, executor=executor
+    )
+    results = session.make_executor().run(machine, loops, request, graphs)
     return SuiteRun(
-        machine=machine, scheduler_name=scheduler, results=results
+        machine=machine, scheduler_name=request.scheduler, results=results
     )

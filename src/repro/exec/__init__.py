@@ -26,6 +26,7 @@ from repro.exec.engine import (
     resolve_jobs,
 )
 from repro.exec.hashing import (
+    attempt_cache_key,
     cache_key,
     result_fingerprint,
     simulation_cache_key,
@@ -37,6 +38,7 @@ __all__ = [
     "ResultCache",
     "SuiteExecutor",
     "SuiteSummary",
+    "attempt_cache_key",
     "cache_key",
     "default_cache_dir",
     "make_engine",

@@ -28,6 +28,11 @@ import warnings
 from collections.abc import Callable, Sequence
 
 from repro.core.params import MirsParams
+from repro.core.request import (
+    _UNSET,
+    ScheduleRequest,
+    fold_legacy_request,
+)
 from repro.core.result import ScheduleResult
 from repro.exec.cache import ResultCache, resolve_cache
 from repro.exec.hashing import cache_key
@@ -80,23 +85,19 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 def make_engine(
     machine: MachineConfig,
-    scheduler: str,
-    params: MirsParams | None,
+    request: ScheduleRequest | str | None = None,
+    params: MirsParams | None = _UNSET,
 ):
-    """Instantiate a scheduler by name (``"mirsc"`` or ``"baseline"``)."""
-    # Imported lazily: the engine module is imported by worker processes
-    # before they know which scheduler they will run.
-    from repro.baseline.noniterative import NonIterativeScheduler
-    from repro.core.mirsc import MirsC
+    """Instantiate the scheduler of a :class:`ScheduleRequest`.
 
-    if scheduler == "mirsc":
-        # Non-strict: off-default parameter ablations (e.g. a starved
-        # budget) may legitimately fail to converge; the aggregations
-        # already handle unconverged entries.
-        return MirsC(machine, params=params, strict=False)
-    if scheduler == "baseline":
-        return NonIterativeScheduler(machine, params=params)
-    raise ValueError(f"unknown scheduler {scheduler!r}")
+    Non-strict: off-default parameter ablations (e.g. a starved budget)
+    may legitimately fail to converge; the aggregations already handle
+    unconverged entries.  The historical ``(machine, "mirsc", params)``
+    call shape still works — the name coerces and a positional
+    ``params`` folds in with a :class:`DeprecationWarning`.
+    """
+    request = fold_legacy_request("make_engine", request, params=params)
+    return request.make_scheduler(machine, strict=False)
 
 
 # ----------------------------------------------------------------------
@@ -106,12 +107,10 @@ def make_engine(
 _WORKER_ENGINE = None
 
 
-def _init_worker(
-    machine: MachineConfig, scheduler: str, params: MirsParams | None
-) -> None:
+def _init_worker(machine: MachineConfig, request: ScheduleRequest) -> None:
     """Pool initializer: build the per-process scheduler once."""
     global _WORKER_ENGINE
-    _WORKER_ENGINE = make_engine(machine, scheduler, params)
+    _WORKER_ENGINE = make_engine(machine, request)
 
 
 def _schedule_item(
@@ -203,17 +202,31 @@ class SuiteExecutor:
         self,
         machine: MachineConfig,
         loops: Sequence,
-        scheduler: str = "mirsc",
-        params: MirsParams | None = None,
+        request: ScheduleRequest | str | None = None,
         graphs: Sequence[DependenceGraph] | None = None,
+        *,
+        scheduler: str = _UNSET,
+        params: MirsParams | None = _UNSET,
     ) -> list[ScheduleResult]:
         """Schedule every loop, in order; see module docstring.
 
         ``loops`` holds workbench :class:`SuiteLoop` entries (anything
         with a ``.graph``) or bare dependence graphs; ``graphs``
         optionally replaces them position-for-position (the prefetching
-        experiments re-latency the loads this way).
+        experiments re-latency the loads this way).  ``request`` also
+        accepts a bare scheduler name (the historical third positional);
+        the old ``scheduler=``/``params=`` keywords are deprecated.
         """
+        if isinstance(graphs, MirsParams):
+            # Historical 4th positional was params; accept it with the
+            # same deprecation story as the keyword spelling.
+            params = graphs
+            graphs = None
+        request = fold_legacy_request(
+            "SuiteExecutor.run", request, scheduler=scheduler, params=params
+        )
+        scheduler_name = request.scheduler
+        resolved = request.resolved_params()
         started = time.perf_counter()
         work: list[DependenceGraph] = []
         for position, loop in enumerate(loops):
@@ -223,13 +236,15 @@ class SuiteExecutor:
                 work.append(getattr(loop, "graph", loop))
 
         # Fail fast on an unknown scheduler, before pools or cache IO.
-        make_engine(machine, scheduler, params)
+        make_engine(machine, request)
 
         results: dict[int, ScheduleResult] = {}
         keys: dict[int, str] = {}
         if self.cache is not None:
             for position, graph in enumerate(work):
-                keys[position] = cache_key(graph, machine, params, scheduler)
+                keys[position] = cache_key(
+                    graph, machine, resolved, scheduler_name
+                )
                 cached = self.cache.get(keys[position])
                 if cached is not None:
                     results[position] = cached
@@ -244,9 +259,9 @@ class SuiteExecutor:
 
         if misses:
             if self.jobs > 1 and len(misses) > 1:
-                fresh = self._run_parallel(machine, scheduler, params, misses)
+                fresh = self._run_parallel(machine, request, misses)
             else:
-                fresh = self._run_sequential(machine, scheduler, params, misses)
+                fresh = self._run_sequential(machine, request, misses)
             for position, result in fresh:
                 results[position] = result
                 if self.cache is not None:
@@ -257,7 +272,7 @@ class SuiteExecutor:
 
         ordered = [results[position] for position in range(total)]
         self._record(
-            machine, scheduler, ordered,
+            machine, scheduler_name, ordered,
             scheduled=len(misses), hits=hits,
             wall=time.perf_counter() - started,
         )
@@ -268,18 +283,16 @@ class SuiteExecutor:
     def _run_sequential(
         self,
         machine: MachineConfig,
-        scheduler: str,
-        params: MirsParams | None,
+        request: ScheduleRequest,
         misses: list[tuple[int, DependenceGraph]],
     ) -> list[tuple[int, ScheduleResult]]:
-        engine = make_engine(machine, scheduler, params)
+        engine = make_engine(machine, request)
         return [(position, engine.schedule(graph)) for position, graph in misses]
 
     def _run_parallel(
         self,
         machine: MachineConfig,
-        scheduler: str,
-        params: MirsParams | None,
+        request: ScheduleRequest,
         misses: list[tuple[int, DependenceGraph]],
     ) -> list[tuple[int, ScheduleResult]]:
         workers = min(self.jobs, len(misses))
@@ -288,7 +301,7 @@ class SuiteExecutor:
         with ctx.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(machine, scheduler, params),
+            initargs=(machine, request),
         ) as pool:
             produced = list(
                 pool.imap_unordered(_schedule_item, misses, chunksize=chunksize)

@@ -131,6 +131,36 @@ def cache_key(
     )
 
 
+def attempt_cache_key(task) -> str:
+    """Content-addressed key of one fixed-II attempt task.
+
+    An attempt's behaviour is independent of the II-*search* policy and
+    of the speculation width (both only decide *which* IIs get
+    attempted), so those are stripped from the canonical parameter
+    payload — a geometric search at K=4 and the serial linear ladder
+    share cache entries for every II they both probe.  Everything the
+    attempt loop does consume stays: the resolved ``bound_eject_churn``
+    (policy-derived, and it changes attempt verdicts' timing), the
+    gauges, the budget, the machine, the graph content hash and the
+    HRMS priorities.
+    """
+    params = task.params.canonical()
+    params.pop("ii_search", None)
+    params.pop("speculation", None)
+    return stable_hash(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "code": code_digest(),
+            "kind": "attempt",
+            "machine": task.machine.canonical(),
+            "params": params,
+            "ii": task.ii,
+            "graph": task.graph_hash,
+            "priorities": sorted(task.priorities.items()),
+        }
+    )
+
+
 def simulation_cache_key(
     result: ScheduleResult,
     iterations: int,
@@ -167,17 +197,21 @@ def simulation_cache_key(
 def result_fingerprint(result: ScheduleResult) -> str:
     """Digest of every deterministic field of a schedule result.
 
-    Wall-clock timing (``scheduling_seconds``) and the II-search trace
-    (``stats.search_trace``) are excluded: the trace is diagnostic (it
-    records *how* the II was found, not the schedule), and keeping it
+    Wall-clock timing (``scheduling_seconds``), the II-search trace
+    (``stats.search_trace``) and the speculative-search accounting
+    (``stats.search_stats``) are excluded: they are diagnostic (they
+    record *how* the II was found, not the schedule), and keeping them
     out lets the default :class:`~repro.core.search.LinearSearch`
-    produce fingerprints bit-identical to the pre-policy scheduler's.
-    Two runs of the same deterministic scheduler agree on every
-    included field, and the parallel-vs-sequential and cache-vs-fresh
-    equivalence tests compare exactly this fingerprint.
+    produce fingerprints bit-identical to the pre-policy scheduler's —
+    and the speculative driver bit-identical to the serial one.  Two
+    runs of the same deterministic scheduler agree on every included
+    field, and the parallel-vs-sequential, cache-vs-fresh and
+    speculative-vs-serial equivalence tests compare exactly this
+    fingerprint.
     """
     stats = dataclasses.asdict(result.stats)
     stats.pop("search_trace", None)
+    stats.pop("search_stats", None)
     payload = {
         "loop": result.loop,
         "machine": result.machine.canonical(),

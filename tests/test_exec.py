@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.mirsc import MirsC
 from repro.core.params import MirsParams
+from repro.core.request import SessionConfig
 from repro.eval.experiments import table1_rows
 from repro.eval.runner import bench_loop_count, bench_suite, schedule_suite
 from repro.exec import (
@@ -53,10 +54,20 @@ class TestParallelEqualsSequential:
         par = SuiteExecutor(jobs=3, cache=False).run(machine, LOOPS, "baseline")
         assert fingerprints(seq) == fingerprints(par)
 
-    def test_schedule_suite_jobs_kwarg(self):
-        seq = schedule_suite(MACHINE, LOOPS, "mirsc", jobs=1)
-        par = schedule_suite(MACHINE, LOOPS, "mirsc", jobs=2)
+    def test_schedule_suite_session_jobs(self):
+        seq = schedule_suite(
+            MACHINE, LOOPS, "mirsc", session=SessionConfig(jobs=1)
+        )
+        par = schedule_suite(
+            MACHINE, LOOPS, "mirsc", session=SessionConfig(jobs=2)
+        )
         assert fingerprints(seq.results) == fingerprints(par.results)
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            legacy = schedule_suite(MACHINE, LOOPS, "mirsc", jobs=1)
+        fresh = schedule_suite(MACHINE, LOOPS, "mirsc")
+        assert fingerprints(legacy.results) == fingerprints(fresh.results)
 
     def test_unknown_scheduler_rejected_before_any_work(self):
         with pytest.raises(ValueError):
@@ -98,7 +109,7 @@ class TestCache:
         loops = cached_suite(2)
         kwargs = dict(clusters=(1,), move_latencies=(1,))
         first = table1_rows(
-            loops, executor=SuiteExecutor(cache=ResultCache(tmp_path)), **kwargs
+            loops, session=SuiteExecutor(cache=ResultCache(tmp_path)), **kwargs
         )
         monkeypatch.setattr(
             MirsC,
@@ -106,7 +117,7 @@ class TestCache:
             lambda self, graph: pytest.fail("scheduler invoked on warm cache"),
         )
         warm = SuiteExecutor(cache=ResultCache(tmp_path))
-        second = table1_rows(loops, executor=warm, **kwargs)
+        second = table1_rows(loops, session=warm, **kwargs)
         assert warm.stats.scheduled == 0
         assert first == second
 

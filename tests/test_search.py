@@ -285,11 +285,17 @@ class TestCacheKeys:
 
     def test_parallel_equals_sequential_under_policy(self):
         """Policy objects ship to worker processes with the params."""
+        from repro.core.request import ScheduleRequest, SessionConfig
         from repro.eval.runner import schedule_suite
 
         loops = cached_suite(3)
-        seq = schedule_suite(self.MACHINE, loops, jobs=1, search="geometric")
-        par = schedule_suite(self.MACHINE, loops, jobs=2, search="geometric")
+        request = ScheduleRequest(search="geometric")
+        seq = schedule_suite(
+            self.MACHINE, loops, request, session=SessionConfig(jobs=1)
+        )
+        par = schedule_suite(
+            self.MACHINE, loops, request, session=SessionConfig(jobs=2)
+        )
         assert [result_fingerprint(r) for r in seq.results] == [
             result_fingerprint(r) for r in par.results
         ]
@@ -301,16 +307,16 @@ class TestCacheKeys:
         geo_params = MirsParams(ii_search="geometric")
 
         cold = SuiteExecutor(cache=cache)
-        cold.run(self.MACHINE, loops, params=linear_params)
+        cold.run(self.MACHINE, loops, linear_params)
         assert cold.stats.scheduled == len(loops)
 
         warm = SuiteExecutor(cache=cache)
-        warm.run(self.MACHINE, loops, params=linear_params)
+        warm.run(self.MACHINE, loops, linear_params)
         assert warm.stats.scheduled == 0
         assert warm.stats.cache_hits == len(loops)
 
         other = SuiteExecutor(cache=cache)
-        other.run(self.MACHINE, loops, params=geo_params)
+        other.run(self.MACHINE, loops, geo_params)
         assert other.stats.cache_hits == 0
         assert other.stats.scheduled == len(loops)
 
