@@ -16,6 +16,14 @@ artifact):
   clusters, next to MaxLive), the observable the incremental
   arc-colouring engine must keep bit-stable: any drift against the
   previous night's artifact means the allocator changed behaviour.
+
+Each run also carries a :class:`repro.obs.RecordingTracer`, and the
+per-machine ``obs`` section aggregates what it saw: wall-time summed
+per scheduler phase (``phase.prepare``/``phase.search``/
+``phase.finalize``) and the attempt-outcome-kind histogram over every
+loop's ``search_trace`` - a night-over-night view of *where* the
+engine spends its time and *how* attempts end, not just how fast the
+suite went.
 """
 
 from __future__ import annotations
@@ -25,13 +33,26 @@ import time
 
 from conftest import RESULTS_DIR, loops_for
 
+from repro import ScheduleRequest
 from repro.eval.reporting import render_table
 from repro.eval.runner import schedule_suite
 from repro.machine.config import parse_config
+from repro.obs import RecordingTracer, outcome_histogram
 from repro.workloads.perfect import cached_suite
 
 #: The paper's reference configurations (same pair bench_scheduler gates).
 MACHINES = ("1-(GP8M4-REG64)", "4-(GP2M1-REG32)")
+
+
+def _phase_seconds(tracer: RecordingTracer) -> dict[str, float]:
+    """Wall seconds summed per ``phase.*`` span across the whole run."""
+    totals: dict[str, float] = {}
+    for event in tracer.events:
+        if event.kind == "span" and event.name.startswith("phase."):
+            totals[event.name] = totals.get(event.name, 0.0) + (
+                event.dur or 0.0
+            )
+    return {name: round(seconds, 3) for name, seconds in sorted(totals.items())}
 
 
 def test_nightly_paper_scale_suite(executor, table_sink):
@@ -42,9 +63,13 @@ def test_nightly_paper_scale_suite(executor, table_sink):
     failures: list[str] = []
     for machine_name in MACHINES:
         machine = parse_config(machine_name)
+        tracer = RecordingTracer()
         started = time.perf_counter()
         try:
-            run = schedule_suite(machine, loops, session=executor)
+            run = schedule_suite(
+                machine, loops, ScheduleRequest(trace=tracer),
+                session=executor,
+            )
         except Exception as exc:  # e.g. a SchedulingError from a worker
             failures.append(f"{machine_name}: {exc}")
             continue
@@ -67,6 +92,18 @@ def test_nightly_paper_scale_suite(executor, table_sink):
                     "max_live": sum(r.max_live.values()),
                 }
                 for r in run.results
+            },
+            # Cached loops skip scheduling, so the phase times cover
+            # only what actually ran this night; the outcome histogram
+            # comes from the (always-present) per-result search traces.
+            "obs": {
+                "events": len(tracer.events),
+                "phase_seconds": _phase_seconds(tracer),
+                "attempt_outcomes": outcome_histogram(
+                    entry
+                    for r in run.results
+                    for entry in r.stats.search_trace
+                ),
             },
         }
         payload["machines"].append(entry)
@@ -94,7 +131,8 @@ def test_nightly_paper_scale_suite(executor, table_sink):
             f"Nightly paper-scale suite ({count} loops)",
             ["machine", "loops", "conv", "sum II", "wall s", "plc/s"],
             rows,
-            "trajectories (per-loop II / registers_used / MaxLive) in "
+            "trajectories (per-loop II / registers_used / MaxLive) plus "
+            "per-phase times and attempt-outcome histograms in "
             "BENCH_nightly.json",
         ),
     )

@@ -42,6 +42,17 @@ parallel speedup is physically capped, so only near-parity overhead is
 gated) - both runs happen back-to-back in this process, so the ratio
 needs no calibration or committed reference.
 
+An ``observability`` phase gates the ``repro.obs`` tracer's
+tracing-*off* cost below 2% of scheduling wall-time.  The gate is
+analytic, not differential: one workbench run is made with a counting
+tracer whose ``enabled`` property tallies every touchpoint while still
+answering ``False`` (control flow identical to the shipped
+``NULL_TRACER`` path), a microbenchmark prices one disabled
+touchpoint, and touchpoints x price must stay under 2% of that run's
+wall - far more stable on a noisy single-core CI host than timing two
+whole runs and subtracting.  A second run with a ``RecordingTracer``
+must then reproduce the first run's fingerprints bit for bit.
+
 A third phase instruments the drained-regime **register allocator**: an
 extra stress run replays every incremental
 :class:`~repro.schedule.colouring.IncrementalArcColouring` query against
@@ -66,6 +77,7 @@ from conftest import RESULTS_DIR, loops_for
 
 from repro import LoopBuilder, ScheduleRequest, SessionConfig
 from repro.core.mirsc import MirsC
+from repro.obs import NULL_TRACER, RecordingTracer, Tracer
 from repro.eval.reporting import render_table
 from repro.eval.runner import schedule_suite
 from repro.exec import result_fingerprint
@@ -357,7 +369,9 @@ def _measure_speculation(stress_loops) -> dict:
             "converged": result.converged,
             "fingerprint": result_fingerprint(result),
             "attempts": len(result.stats.search_trace),
-            "search_stats": result.stats.search_stats,
+            "search": (
+                result.stats.search.as_dict() if result.stats.search else {}
+            ),
         }
     k1, k4 = entries[1], entries[4]
     return {
@@ -394,7 +408,7 @@ def _gate_speculation(
             f"({k4['ii']}/{k4['converged']}) differs from serial "
             f"({k1['ii']}/{k1['converged']})"
         )
-    executed = k4["search_stats"].get("executed_attempts")
+    executed = k4["search"].get("executed_attempts")
     serial_attempts = k1["attempts"]
     if executed is None or executed >= serial_attempts + section["width"]:
         failures.append(
@@ -434,6 +448,123 @@ def _gate_speculation(
                 f"below {floor}x (measured {section['speedup']}x on "
                 f"{cpus} cpu(s))"
             )
+    return failures
+
+
+class _CountingNull(Tracer):
+    """A disabled tracer that tallies every touchpoint it is asked about.
+
+    ``enabled`` answers ``False`` (so every guarded call site takes
+    exactly the shipped ``NULL_TRACER`` path) but counts the read; the
+    no-op event methods count too in case a call site skips its guard.
+    """
+
+    touchpoints = 0
+
+    @property
+    def enabled(self) -> bool:
+        self.touchpoints += 1
+        return False
+
+    def begin(self, name, cat, **args):
+        self.touchpoints += 1
+        return None
+
+    def end(self, token, **args):
+        self.touchpoints += 1
+
+    def instant(self, name, cat, **args):
+        self.touchpoints += 1
+
+    def counter(self, name, value, cat="metrics"):
+        self.touchpoints += 1
+
+
+def _null_touchpoint_seconds(rounds: int = 3, calls: int = 200_000) -> float:
+    """Best-of-N price of one disabled tracer touchpoint.
+
+    Each iteration pays a guard read *plus* the no-op call the guard
+    exists to skip, so the price is an upper bound on what any real
+    call site costs when tracing is off.
+    """
+    tracer = NULL_TRACER
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(calls):
+            if tracer.enabled:
+                pass
+            tracer.instant("bench", "bench", ii=0)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best / calls
+
+
+def _measure_observability(workbench_loops) -> dict:
+    """Tracing-off overhead + traced-run fingerprint neutrality.
+
+    See the module docstring: touchpoints are counted during a real
+    workbench run whose control flow is bit-identical to the untraced
+    path, priced by microbenchmark, and compared against that run's
+    wall; then a ``RecordingTracer`` run over the same suite must
+    reproduce the same fingerprints.
+    """
+    machine = parse_config(WORKBENCH_MACHINES[0])
+    session = SessionConfig(jobs=1, cache=False)
+    counting = _CountingNull()
+    started = time.perf_counter()
+    off_run = schedule_suite(
+        machine, workbench_loops, ScheduleRequest(trace=counting),
+        session=session,
+    )
+    wall = time.perf_counter() - started
+    per_touchpoint = _null_touchpoint_seconds()
+    overhead = (
+        per_touchpoint * counting.touchpoints / wall if wall else 0.0
+    )
+
+    recording = RecordingTracer()
+    traced_run = schedule_suite(
+        machine, workbench_loops, ScheduleRequest(trace=recording),
+        session=session,
+    )
+    fingerprints_match = [
+        result_fingerprint(r) for r in off_run.results
+    ] == [result_fingerprint(r) for r in traced_run.results]
+
+    return {
+        "machine": WORKBENCH_MACHINES[0],
+        "loops": len(off_run.results),
+        "converged": len(off_run.converged),
+        "wall_seconds": round(wall, 3),
+        "touchpoints": counting.touchpoints,
+        "null_touchpoint_ns": round(per_touchpoint * 1e9, 1),
+        "overhead_fraction": round(overhead, 5),
+        "traced_events": len(recording.events),
+        "fingerprints_match_traced": fingerprints_match,
+    }
+
+
+def _gate_observability(section: dict) -> list[str]:
+    """The tracer gates (see ``_measure_observability``)."""
+    failures: list[str] = []
+    if section["overhead_fraction"] >= 0.02:
+        failures.append(
+            f"tracing-off overhead bound {section['overhead_fraction']:.2%} "
+            f"(= {section['touchpoints']} touchpoints x "
+            f"{section['null_touchpoint_ns']} ns / "
+            f"{section['wall_seconds']} s wall) is not under 2%"
+        )
+    if not section["fingerprints_match_traced"]:
+        failures.append(
+            "RecordingTracer workbench run is not fingerprint-identical "
+            "to the untraced run"
+        )
+    if section["traced_events"] == 0:
+        failures.append(
+            "RecordingTracer saw no events over a full workbench run; "
+            "the tracer is not threaded through the engine"
+        )
     return failures
 
 
@@ -511,6 +642,12 @@ def test_scheduler_throughput(table_sink):
     # wall-clock (see _measure_speculation).
     speculation = _measure_speculation(stress_loops)
     payload["speculation"] = speculation
+
+    # Observability phase: tracing-off touchpoint cost under 2% of
+    # wall, traced run fingerprint-identical (see module docstring).
+    observability = _measure_observability(workbench_loops)
+    payload["observability"] = observability
+    observability_failures = _gate_observability(observability)
 
     # Drained-regime allocator phase: every incremental query replayed
     # against the batch oracle, call for call (see module docstring).
@@ -641,6 +778,11 @@ def test_scheduler_throughput(table_sink):
             int(entry["converged"]), entry["wall_seconds"],
             round(entry["wall_seconds"] / calibration, 1), "-",
         ])
+    rows.append([
+        "observability", observability["machine"], observability["loops"],
+        observability["converged"], observability["wall_seconds"],
+        round(observability["wall_seconds"] / calibration, 1), "-",
+    ])
     note = (
         f"calibration {calibration * 1000:.0f} ms; "
         f"stress speedup vs pre-PR engine: "
@@ -651,7 +793,10 @@ def test_scheduler_throughput(table_sink):
         f"{speculation['speedup']}x, fingerprints "
         f"{'match' if speculation['k1']['fingerprint'] == speculation['k4']['fingerprint'] else 'MISMATCH'}; "
         f"incremental allocator vs batch: {allocator['speedup']}x over "
-        f"{allocator['calls']} calls, {len(allocator['mismatches'])} mismatches"
+        f"{allocator['calls']} calls, {len(allocator['mismatches'])} mismatches; "
+        f"tracing-off overhead bound "
+        f"{observability['overhead_fraction']:.2%} over "
+        f"{observability['touchpoints']} touchpoints"
     )
     table_sink(
         "scheduler_throughput",
@@ -663,6 +808,7 @@ def test_scheduler_throughput(table_sink):
     assert policy_failures == [], "; ".join(policy_failures)
     assert speculation_failures == [], "; ".join(speculation_failures)
     assert allocator_failures == [], "; ".join(allocator_failures)
+    assert observability_failures == [], "; ".join(observability_failures)
     assert all(
         entry["placements"] > 0
         for entry in payload["workbench"]["machines"]

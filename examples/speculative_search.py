@@ -11,7 +11,8 @@ schedule is deterministically the lowest feasible II - bit-identical
 
 This example schedules a few workbench loops on a register-starved
 machine serially and at K=4, checks the fingerprints match, and prints
-the race's ledger from ``stats.search_stats``.
+the race's typed ledger from ``stats.search``
+(:class:`repro.obs.SearchStats`).
 """
 
 import os
@@ -34,21 +35,21 @@ for loop in loops:
         loop.graph.clone()
     )
     identical = result_fingerprint(raced) == result_fingerprint(serial)
-    stats = raced.stats.search_stats
+    stats = raced.stats.search
     status = f"II={raced.ii}" if raced.converged else "not converged"
     print(
         f"{loop.graph.name:>12}: {status:<8} "
-        f"serial_attempts={stats['serial_attempts']} "
-        f"executed={stats['executed_attempts']} "
-        f"cancelled={stats['cancelled']} "
+        f"serial_attempts={stats.serial_attempts} "
+        f"executed={stats.executed_attempts} "
+        f"cancelled={stats.cancelled} "
         f"fingerprint_identical={identical}"
     )
     assert identical, loop.graph.name
     # Losers are provably cancelled: the race never executes more than
     # the serial ladder's attempts plus the frontier width.
-    assert stats["executed_attempts"] < stats["serial_attempts"] + 4
+    assert stats.executed_attempts < stats.serial_attempts + 4
 
 print(
     "\nEvery K=4 schedule reproduced the serial one bit for bit; the "
-    "race only changes wall-clock time and the search_stats ledger."
+    "race only changes wall-clock time and the stats.search ledger."
 )

@@ -26,6 +26,15 @@ Scheduling::
     result = MirsC(machine).schedule(graph)
     print(result.summary())
 
+Observability::
+
+    from repro import MirsC, RecordingTracer
+    tracer = RecordingTracer()
+    MirsC(machine, tracer=tracer).schedule(graph)
+    # or: REPRO_TRACE=trace.jsonl, or the CLI's --trace PATH
+    from repro.obs.export import write_jsonl
+    write_jsonl(tracer, "trace.jsonl")
+
 The baseline of Sánchez & González [31] lives in
 :class:`repro.NonIterativeScheduler`; the synthetic Perfect-Club-like
 workload in :mod:`repro.workloads`; the memory-hierarchy simulator in
@@ -81,6 +90,13 @@ from repro.machine.config import (
 )
 from repro.machine.resources import OpKind
 from repro.machine.technology import TechnologyModel
+from repro.obs import (
+    NullTracer,
+    RecordingTracer,
+    SearchStats,
+    Tracer,
+    resolve_tracer,
+)
 from repro.order.hrms import hrms_order
 
 __version__ = "1.0.0"
@@ -113,14 +129,19 @@ __all__ = [
     "MirsParams",
     "Node",
     "NonIterativeScheduler",
+    "NullTracer",
     "OpKind",
+    "RecordingTracer",
     "ReproError",
     "ScheduleRequest",
     "ScheduleResult",
     "SchedulingError",
+    "SearchStats",
     "SessionConfig",
     "SpeculativeSearchDriver",
     "TechnologyModel",
+    "Tracer",
+    "resolve_tracer",
     "compute_mii",
     "find_recurrences",
     "hrms_order",

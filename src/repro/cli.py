@@ -13,7 +13,11 @@ Commands:
   workbench subset on one configuration and print the comparison;
 * ``suite``    - print structural statistics of the synthetic workbench;
 * ``technology`` - print the Figure 2 technology table;
-* ``cache``    - inspect or clear the on-disk schedule-result cache.
+* ``cache``    - inspect or clear the on-disk schedule-result cache;
+* ``trace``    - inspect structured traces recorded with ``--trace``
+  (or ``REPRO_TRACE``): ``trace summary PATH`` validates the JSONL
+  against the committed schema and prints per-phase and per-attempt
+  breakdowns.
 
 ``compare`` runs through the suite-execution engine: ``--jobs N`` shards
 the workbench over N worker processes and results are memoized in the
@@ -107,9 +111,26 @@ def _request_from(args: argparse.Namespace) -> ScheduleRequest:
     """The one CLI→request resolution point: every scheduling command
     builds its :class:`ScheduleRequest` here, so the CLI and the Python
     API share identical semantics (and cache keys)."""
+    trace = None
+    if getattr(args, "trace", None):
+        from repro.obs import RecordingTracer
+
+        trace = RecordingTracer()
     return ScheduleRequest(
-        search=args.ii_search, speculation=args.speculation
+        search=args.ii_search, speculation=args.speculation, trace=trace,
     )
+
+
+def _finish_trace(args: argparse.Namespace, request: ScheduleRequest) -> None:
+    """Write the command's trace (JSONL + Chrome sibling) if one was on."""
+    path = getattr(args, "trace", None)
+    if not path or not getattr(request.trace, "enabled", False):
+        return
+    from repro.obs.export import chrome_path_for, write_chrome, write_jsonl
+
+    write_jsonl(request.trace, path)
+    chrome = write_chrome(request.trace, chrome_path_for(path))
+    print(f"trace written: {path} (+ {chrome})", file=sys.stderr)
 
 
 def _demo_graph():
@@ -129,13 +150,15 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         graph = _demo_graph()
     else:
         graph = build_loop(args.loop).graph
-    result = _request_from(args).make_scheduler(machine).schedule(graph)
+    request = _request_from(args)
+    result = request.make_scheduler(machine).schedule(graph)
     print(format_kernel(result))
     print()
     print(result.summary())
     if args.code:
         print()
         print(generate_code(result).render())
+    _finish_trace(args, request)
     return 0
 
 
@@ -147,7 +170,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         graph = _demo_graph()
     else:
         graph = build_loop(args.loop).graph
-    result = _request_from(args).make_scheduler(machine).schedule(graph)
+    request = _request_from(args)
+    result = request.make_scheduler(machine).schedule(graph)
     # None: the environment decides (REPRO_CACHE_DIR opts in, as for
     # plain library calls elsewhere).
     report = run_differential(result, args.iterations, cache=None)
@@ -192,6 +216,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if not report.match:
         print()
         print(report.summary())
+    _finish_trace(args, request)
     return 0 if report.match and useful_ok else 1
 
 
@@ -201,9 +226,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     loops = cached_suite(args.loops)
     session = SessionConfig(jobs=args.jobs, cache=not args.no_cache)
-    ours_run = schedule_suite(
-        machine, loops, _request_from(args), session=session
-    )
+    request = _request_from(args)
+    ours_run = schedule_suite(machine, loops, request, session=session)
     base_run = schedule_suite(machine, loops, "baseline", session=session)
     rows = []
     for loop, ours, base in zip(loops, ours_run.results, base_run.results):
@@ -231,6 +255,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"[exec] jobs={executor.jobs} scheduled={stats.scheduled} "
         f"cache_hits={stats.cache_hits} wall={stats.wall_seconds:.2f}s"
     )
+    _finish_trace(args, request)
     return 0
 
 
@@ -247,6 +272,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         ["size (KiB)", round(stats.total_bytes / 1024, 1)],
     ]
     print(render_table("Schedule-result cache", ["key", "value"], rows))
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    from repro.obs.export import validate_trace_file
+    from repro.obs.summary import summarize_file
+
+    problems = validate_trace_file(args.path)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    print(summarize_file(args.path).render())
     return 0
 
 
@@ -299,6 +337,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=lambda v: None if v == "inf" else int(v),
             default=2,
             help="inter-cluster buses ('inf' for unbounded)",
+        )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="record a structured trace of the run to PATH (JSONL; "
+            "a Perfetto-loadable .chrome.json sibling is written too); "
+            "inspect it with 'repro trace summary PATH'",
         )
 
     schedule = sub.add_parser("schedule", help="schedule one loop")
@@ -357,6 +403,18 @@ def build_parser() -> argparse.ArgumentParser:
         "technology", help="Figure 2 technology table"
     )
     technology.set_defaults(func=_cmd_technology)
+
+    trace = sub.add_parser(
+        "trace", help="inspect structured traces (see --trace / REPRO_TRACE)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="validate a JSONL trace and print per-phase / per-attempt "
+        "breakdowns",
+    )
+    trace_summary.add_argument("path", help="JSONL trace file")
+    trace_summary.set_defaults(func=_cmd_trace_summary)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument(

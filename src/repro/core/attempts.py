@@ -61,6 +61,8 @@ from repro.errors import SchedulingError
 from repro.graph.ddg import DepKind, DependenceGraph
 from repro.graph.latency import edge_latency
 from repro.machine.config import MachineConfig
+from repro.obs.metrics import SearchStats
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.regalloc import allocate_registers
 from repro.spill.heuristics import check_and_insert_spill
@@ -90,6 +92,10 @@ class AttemptTask:
             :func:`~repro.exec.hashing.canonical_graph`), computed once
             per search so per-attempt cache keys do not re-canonicalize
             the graph K times.
+        trace: record a per-attempt event trace in the worker and ship
+            it back on the :class:`AttemptResult` (see
+            :mod:`repro.obs`).  Excluded from the attempt cache key —
+            tracing never changes what an attempt computes.
     """
 
     graph: DependenceGraph
@@ -98,6 +104,7 @@ class AttemptTask:
     ii: int
     priorities: dict[int, float]
     graph_hash: str
+    trace: bool = False
 
     def cache_key(self) -> str:
         """Content-addressed key of this attempt (see
@@ -148,18 +155,27 @@ class AttemptResult:
 
     ``feasible`` is ``None`` exactly when ``outcome.scheduled`` is
     false.  ``seconds`` is the worker-side wall clock (diagnostic).
+    ``trace`` is the worker-side event trace
+    (:meth:`repro.obs.RecordingTracer.export` payload) when the task
+    asked for one — shipped back over the runner's private pipe and
+    merged into the parent trace; stripped before attempt-cache writes
+    (a cached result's timeline belongs to the run that computed it).
     """
 
     ii: int
     outcome: AttemptOutcome
     feasible: FeasibleState | None = None
     seconds: float = 0.0
+    trace: dict | None = None
 
 
 def run_attempt(task: AttemptTask) -> AttemptResult:
     """Execute one attempt task (the pool workers' entry point)."""
     started = time.perf_counter()
-    engine = AttemptEngine(task.machine, task.params)
+    tracer: Tracer = NULL_TRACER
+    if task.trace:
+        tracer = RecordingTracer(tid=f"attempt-ii{task.ii}")
+    engine = AttemptEngine(task.machine, task.params, tracer=tracer)
     state, outcome = engine.run(task.graph.clone(), task.ii, task.priorities)
     feasible = FeasibleState.from_state(state) if state is not None else None
     return AttemptResult(
@@ -167,6 +183,7 @@ def run_attempt(task: AttemptTask) -> AttemptResult:
         outcome=outcome,
         feasible=feasible,
         seconds=time.perf_counter() - started,
+        trace=tracer.export() if task.trace else None,
     )
 
 
@@ -179,9 +196,15 @@ def run_attempt(task: AttemptTask) -> AttemptResult:
 class AttemptEngine:
     """Runs one scheduling attempt at a fixed II (Figure 4's inner loop)."""
 
-    def __init__(self, machine: MachineConfig, params: MirsParams):
+    def __init__(
+        self,
+        machine: MachineConfig,
+        params: MirsParams,
+        tracer: Tracer = NULL_TRACER,
+    ):
         self.machine = machine
         self.params = params
+        self.tracer = tracer
         self._bound_churn = params.effective_bound_eject_churn()
 
     # ------------------------------------------------------------------
@@ -197,11 +220,46 @@ class AttemptEngine:
         Returns ``(state, outcome)``; ``state`` is ``None`` when the
         attempt failed, and ``outcome`` records which of the step-(6)
         restart conditions fired (plus the measured pressure deficit).
+
+        With tracing on, the attempt is one ``attempt`` span carrying
+        the outcome kind and the attempt's counters (spans stay at
+        attempt granularity — never per placement — so the disabled
+        path costs nothing measurable).
         """
-        state = SchedulerState(graph, self.machine, ii, priorities, self.params)
+        tracer = self.tracer
+        state = SchedulerState(
+            graph, self.machine, ii, priorities, self.params, tracer=tracer
+        )
+        if not tracer.enabled:
+            return self._drive(state)
+        token = tracer.begin("attempt", "schedule", ii=ii)
+        final_state, outcome = self._drive(state)
+        stats = state.stats
+        tracer.end(
+            token,
+            kind=outcome.kind.value,
+            scheduled=outcome.scheduled,
+            rounds=outcome.final_rounds,
+            budget_left=outcome.budget_left,
+            deficit=sum(outcome.pressure_deficit.values()),
+            ejections=stats.ejections,
+            spills=stats.spill_stores_added + stats.spill_loads_added,
+            invariant_spills=stats.invariant_spills,
+            moves_added=stats.moves_added,
+            nodes_scheduled=stats.nodes_scheduled,
+            pressure_queries=state.pressure.queries,
+            allocator_queries=(
+                0 if state.colouring is None else state.colouring.queries
+            ),
+        )
+        return final_state, outcome
+
+    def _drive(
+        self, state: SchedulerState
+    ) -> tuple[SchedulerState | None, AttemptOutcome]:
         final_rounds = 0
         max_final_rounds = self.params.final_round_cap_for(
-            self.machine.clusters, len(graph)
+            self.machine.clusters, len(state.graph)
         )
         placements_since_check = 0
 
@@ -757,7 +815,7 @@ class SearchResult:
     best: FeasibleState | None
     path: list[AttemptResult]
     executed: list[dict]
-    stats: dict
+    stats: SearchStats
 
 
 class SpeculativeSearchDriver:
@@ -774,6 +832,13 @@ class SpeculativeSearchDriver:
             :class:`~repro.exec.cache.ResultCache`, ``True``/``False``,
             or ``None`` to follow the environment (the same contract as
             :func:`repro.exec.cache.resolve_cache`).
+        tracer: observability sink (see :mod:`repro.obs`); with a
+            recording tracer the driver emits the race ledger
+            (``race.launch`` / ``race.verify`` / ``race.cancel`` /
+            ``race.commit`` instants), asks workers for per-attempt
+            traces and merges them back, and synthesizes a span for
+            every cancelled attempt — so the merged trace carries
+            exactly one ``attempt`` span per launched attempt.
     """
 
     def __init__(
@@ -783,6 +848,7 @@ class SpeculativeSearchDriver:
         speculation: int,
         runner: AttemptRunner | None = None,
         cache=None,
+        tracer: Tracer = NULL_TRACER,
     ):
         from repro.exec.cache import resolve_cache
 
@@ -793,6 +859,7 @@ class SpeculativeSearchDriver:
             self.speculation
         )
         self.cache = resolve_cache(cache)
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -806,6 +873,8 @@ class SpeculativeSearchDriver:
         """Run one full II search for ``graph``; see the module docstring."""
         from repro.exec.hashing import canonical_graph, stable_hash
 
+        tracer = self.tracer
+        trace_on = tracer.enabled
         template = AttemptTask(
             graph=graph,
             machine=self.machine,
@@ -813,6 +882,7 @@ class SpeculativeSearchDriver:
             ii=mii,
             priorities=priorities,
             graph_hash=stable_hash(canonical_graph(graph)),
+            trace=trace_on,
         )
         policy = self.params.make_search_policy()
         completed: dict[int, AttemptResult] = {}
@@ -820,6 +890,19 @@ class SpeculativeSearchDriver:
         cancelled = 0
         cache_hits = 0
         path: list[AttemptResult] = []
+        #: Open parent-side span tokens of in-flight attempts; popped
+        #: on completion (the worker's own span is merged instead) or
+        #: closed with ``cancelled=True`` on revocation.
+        tokens: dict[int, object] = {}
+
+        def note_cancelled(iis) -> None:
+            if not trace_on:
+                return
+            for ii in sorted(iis):
+                token = tokens.pop(ii, None)
+                if token is not None:
+                    tracer.end(token, cancelled=True)
+                tracer.instant("race.cancel", "race", ii=ii)
 
         try:
             while True:
@@ -842,13 +925,13 @@ class SpeculativeSearchDriver:
                     default=None,
                 )
                 if best_done is not None:
-                    cancelled += self.runner.cancel(
-                        {
-                            ii
-                            for ii in self.runner.pending()
-                            if ii > best_done and ii != needed
-                        }
-                    )
+                    losers = {
+                        ii
+                        for ii in self.runner.pending()
+                        if ii > best_done and ii != needed
+                    }
+                    cancelled += self.runner.cancel(losers)
+                    note_cancelled(losers)
 
                 hit_needed = False
                 for ii in self._frontier(
@@ -862,22 +945,44 @@ class SpeculativeSearchDriver:
                         if isinstance(hit, AttemptResult):
                             completed[ii] = hit
                             cache_hits += 1
+                            if trace_on:
+                                tracer.instant(
+                                    "race.cache_hit", "race", ii=ii
+                                )
                             if ii == needed:
                                 hit_needed = True
                             continue
                     self.runner.submit(task)
                     launched += 1
+                    if trace_on:
+                        tokens[ii] = tracer.begin("attempt", "race", ii=ii)
+                        tracer.instant(
+                            "race.launch", "race", ii=ii, needed=needed
+                        )
                 if hit_needed:
                     continue  # the cache satisfied the anchor: re-replay
 
                 for result in self.runner.wait(needed):
                     completed[result.ii] = result
+                    if trace_on:
+                        tokens.pop(result.ii, None)
+                        tracer.instant(
+                            "race.verify", "race",
+                            ii=result.ii,
+                            kind=result.outcome.kind.value,
+                            scheduled=result.outcome.scheduled,
+                            seconds=round(result.seconds, 6),
+                        )
+                        tracer.merge(result.trace)
                     if self.cache is not None:
                         self.cache.put(
-                            template.with_ii(result.ii).cache_key(), result
+                            template.with_ii(result.ii).cache_key(),
+                            dataclasses.replace(result, trace=None),
                         )
         finally:
-            cancelled += self.runner.cancel(self.runner.pending())
+            leftover = self.runner.pending()
+            cancelled += self.runner.cancel(leftover)
+            note_cancelled(leftover)
             self.runner.finish()
 
         best: FeasibleState | None = None
@@ -893,19 +998,21 @@ class SpeculativeSearchDriver:
             )
             for ii in sorted(completed)
         ]
+        stats = SearchStats(
+            speculation=self.speculation,
+            runner=type(self.runner).__name__,
+            serial_attempts=len(path),
+            executed_attempts=len(completed),
+            launched=launched,
+            cancelled=cancelled,
+            cache_hits=cache_hits,
+        )
+        if trace_on:
+            if best is not None:
+                tracer.instant("race.commit", "race", ii=best.ii)
+            stats.emit(tracer, prefix="race")
         return SearchResult(
-            best=best,
-            path=path,
-            executed=executed,
-            stats={
-                "speculation": self.speculation,
-                "runner": type(self.runner).__name__,
-                "serial_attempts": len(path),
-                "executed_attempts": len(completed),
-                "launched": launched,
-                "cancelled": cancelled,
-                "cache_hits": cache_hits,
-            },
+            best=best, path=path, executed=executed, stats=stats
         )
 
     # ------------------------------------------------------------------

@@ -55,6 +55,8 @@ from repro.graph.ddg import DependenceGraph
 from repro.graph.mii import compute_mii
 from repro.machine.config import MachineConfig
 from repro.machine.resources import OpKind
+from repro.obs import resolve_tracer
+from repro.obs.metrics import SearchStats, outcome_histogram
 from repro.order.hrms import hrms_order
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.regalloc import allocate_registers
@@ -81,6 +83,10 @@ class MirsC:
             ``params.speculation`` (``None`` keeps the param's own
             resolution: field, then ``REPRO_SPECULATION``, then the
             serial search).
+        tracer: structured-trace sink — a
+            :class:`~repro.obs.Tracer`, ``True`` (process-global
+            tracer), ``False`` (off, overriding the environment) or
+            ``None`` (follow ``REPRO_TRACE``).  See :mod:`repro.obs`.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class MirsC:
         strict: bool = True,
         search=None,
         speculation: int | None = None,
+        tracer=None,
     ):
         self.machine = machine
         self.params = params or MirsParams()
@@ -102,7 +109,8 @@ class MirsC:
             )
         self.verify = verify
         self.strict = strict
-        self._engine = AttemptEngine(machine, self.params)
+        self.tracer = resolve_tracer(tracer)
+        self._engine = AttemptEngine(machine, self.params, tracer=self.tracer)
 
     # ------------------------------------------------------------------
 
@@ -123,17 +131,49 @@ class MirsC:
         (K attempts raced concurrently, losers cancelled); the committed
         result is fingerprint-identical by construction.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._schedule_inner(graph)
+        token = tracer.begin("schedule", "schedule", loop=graph.name)
+        try:
+            result = self._schedule_inner(graph)
+        except Exception as exc:
+            tracer.end(token, error=type(exc).__name__)
+            raise
+        tracer.end(
+            token,
+            converged=result.converged,
+            ii=result.ii,
+            mii=result.mii,
+            restarts=result.restarts,
+        )
+        return result
+
+    def _schedule_inner(self, graph: DependenceGraph) -> ScheduleResult:
+        tracer = self.tracer
         started = time.perf_counter()
+        prepare = (
+            tracer.begin("phase.prepare", "schedule", loop=graph.name)
+            if tracer.enabled
+            else None
+        )
         pristine = graph.clone()
         ordering = hrms_order(pristine, self.machine)
         mii = compute_mii(pristine, self.machine)
         limit = max_ii_for(mii, len(pristine), self.params)
+        if prepare is not None:
+            tracer.end(prepare, mii=mii, limit=limit, nodes=len(pristine))
 
         if self.params.effective_speculation() > 1:
             return self._schedule_speculative(
                 pristine, ordering.priority, mii, limit, started
             )
 
+        search_span = (
+            tracer.begin("phase.search", "schedule", mii=mii, limit=limit)
+            if tracer.enabled
+            else None
+        )
         policy = self.params.make_search_policy()
         best: SchedulerState | None = None
         trace: list[AttemptOutcome] = []
@@ -148,6 +188,12 @@ class MirsC:
             if state is not None and (best is None or state.ii < best.ii):
                 best = state
             ii = policy.next_ii(outcome)
+        if search_span is not None:
+            tracer.end(
+                search_span,
+                attempts=len(trace),
+                best_ii=None if best is None else best.ii,
+            )
 
         if best is not None:
             # restarts counts the attempts that did not produce the
@@ -176,10 +222,31 @@ class MirsC:
         limit: int,
         started: float,
     ) -> ScheduleResult:
+        tracer = self.tracer
+        # Opened before the driver is built: spinning up the attempt
+        # pool is part of the search cost, and the phases must tile the
+        # schedule span (the summary gates coverage near 1.0).
+        search_span = (
+            tracer.begin(
+                "phase.search", "schedule",
+                mii=mii, limit=limit,
+                speculation=self.params.effective_speculation(),
+            )
+            if tracer.enabled
+            else None
+        )
         driver = SpeculativeSearchDriver(
-            self.machine, self.params, self.params.effective_speculation()
+            self.machine, self.params, self.params.effective_speculation(),
+            tracer=tracer,
         )
         found = driver.search(pristine, priorities, mii, limit)
+        if search_span is not None:
+            tracer.end(
+                search_span,
+                attempts=len(found.path),
+                executed=found.stats.executed_attempts,
+                best_ii=None if found.best is None else found.best.ii,
+            )
         elapsed = time.perf_counter() - started
         if found.best is not None:
             return self._finalize(
@@ -188,14 +255,14 @@ class MirsC:
                 len(found.path) - 1,
                 elapsed,
                 found.executed,
-                search_stats=found.stats,
+                search=found.stats,
             )
         return self._give_up(
             pristine, mii, limit,
             path_iis=[r.ii for r in found.path],
             trace_entries=found.executed,
             elapsed=elapsed,
-            search_stats=found.stats,
+            search=found.stats,
         )
 
     def _give_up(
@@ -207,24 +274,32 @@ class MirsC:
         path_iis: list[int],
         trace_entries: list[dict],
         elapsed: float,
-        search_stats: dict | None = None,
+        search: SearchStats | None = None,
     ) -> ScheduleResult:
         """Non-convergence: raise (strict) or report (non-strict).
 
         ``path_iis`` is the serial-equivalent attempt sequence in search
         order; under jumping policies its last element is *not* the
         highest II probed (geometric backfill descends), so the error
-        carries both.
+        carries both.  The strict-mode message folds in the
+        failure-kind histogram of the attempt trace so the dominant
+        failure mode is visible without re-running under a tracer.
         """
         if self.strict:
             last_ii = path_iis[-1] if path_iis else mii
             highest_ii = max(path_iis, default=mii)
+            histogram = outcome_histogram(trace_entries)
+            detail = ", ".join(
+                f"{kind}={count}" for kind, count in histogram.items()
+            )
             raise ConvergenceError(
                 f"MIRS-C failed to schedule {pristine.name}: no feasible "
                 f"II found in {len(path_iis)} attempt(s) up to II="
-                f"{highest_ii} (last probed II={last_ii}, cap {limit})",
+                f"{highest_ii} (last probed II={last_ii}, cap {limit})"
+                + (f"; attempt outcomes: {detail}" if detail else ""),
                 last_ii=last_ii,
                 highest_ii=highest_ii,
+                kind_histogram=histogram,
             )
         return ScheduleResult(
             loop=pristine.name,
@@ -236,7 +311,7 @@ class MirsC:
             scheduling_seconds=elapsed,
             stats=SchedulerStats(
                 search_trace=trace_entries,
-                search_stats=search_stats or {},
+                search=search,
             ),
             trip_count=pristine.trip_count,
         )
@@ -262,15 +337,21 @@ class MirsC:
         restarts: int,
         elapsed: float,
         trace_entries: list[dict] | None = None,
-        search_stats: dict | None = None,
+        search: SearchStats | None = None,
     ) -> ScheduleResult:
+        tracer = self.tracer
+        finalize_span = (
+            tracer.begin("phase.finalize", "schedule", ii=feasible.ii)
+            if tracer.enabled
+            else None
+        )
         graph = feasible.graph
         schedule = feasible.schedule
         stats = feasible.stats
         if trace_entries is not None:
             stats.search_trace = trace_entries
-        if search_stats is not None:
-            stats.search_stats = search_stats
+        if search is not None:
+            stats.search = search
         # Batch role: the result is summarised with a from-scratch
         # analysis (the live pressure tracker was already detached when
         # the feasible state was captured).
@@ -326,6 +407,13 @@ class MirsC:
                     f"MIRS-C produced an invalid schedule for {graph.name}: "
                     + "; ".join(violations[:5])
                 )
+        if finalize_span is not None:
+            tracer.end(
+                finalize_span,
+                registers=sum(register_usage.values()),
+                spills=result.spill_operations,
+                moves=result.move_operations,
+            )
         return result
 
 
@@ -345,6 +433,7 @@ class Mirs(MirsC):
         strict: bool = True,
         search=None,
         speculation: int | None = None,
+        tracer=None,
     ):
         if machine.clusters != 1:
             raise SchedulingError(
@@ -353,5 +442,5 @@ class Mirs(MirsC):
             )
         super().__init__(
             machine, params=params, verify=verify, strict=strict,
-            search=search, speculation=speculation,
+            search=search, speculation=speculation, tracer=tracer,
         )

@@ -59,6 +59,13 @@ class ScheduleRequest:
     search: object | None = None
     #: Speculative II-search width K; folded into ``params.speculation``.
     speculation: int | None = None
+    #: Structured-trace sink (see :func:`repro.obs.resolve_tracer`):
+    #: a :class:`~repro.obs.Tracer`, ``True`` (process-global tracer),
+    #: ``False`` (off) or ``None`` (follow ``REPRO_TRACE``).  Purely
+    #: diagnostic: excluded from ``resolved_params()`` and therefore
+    #: from every cache key, and never pickled to worker processes
+    #: (the executor ships a plain ``True``/``False`` instead).
+    trace: object = None
 
     @classmethod
     def coerce(cls, value) -> "ScheduleRequest":
@@ -125,8 +132,12 @@ class ScheduleRequest:
 
         params = self.resolved_params()
         if self.scheduler == "mirsc":
-            return MirsC(machine, params=params, verify=verify, strict=strict)
+            return MirsC(
+                machine, params=params, verify=verify, strict=strict,
+                tracer=self.trace,
+            )
         if self.scheduler == "baseline":
+            # The baseline has no attempt machinery worth tracing.
             return NonIterativeScheduler(machine, params=params)
         raise ValueError(f"unknown scheduler {self.scheduler!r}")
 

@@ -24,6 +24,8 @@ from repro.graph.ddg import DepKind, DependenceGraph
 from repro.machine.config import MachineConfig
 from repro.core.params import MirsParams
 from repro.core.priority import PriorityList
+from repro.obs.metrics import LegacySearchStats, SearchStats
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.schedule.colouring import IncrementalArcColouring
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.pressure import PressureTracker
@@ -50,13 +52,26 @@ class SchedulerStats:
     #: entries cover *every executed* attempt in II order (speculative
     #: extras included), each carrying an ``on_path`` marker.
     search_trace: list[dict] = dataclasses.field(default_factory=list)
-    #: Speculative-search accounting (frontier width, launched /
-    #: executed / cancelled attempt counts — see
-    #: :class:`repro.core.attempts.SpeculativeSearchDriver`); empty for
-    #: the serial driver.  Diagnostic like ``search_trace``: excluded
-    #: from result fingerprints, so speculative and serial runs stay
-    #: fingerprint-identical.
-    search_stats: dict = dataclasses.field(default_factory=dict)
+    #: Typed II-search ledger (frontier width, launched / executed /
+    #: cancelled attempt counts — see
+    #: :class:`repro.core.attempts.SpeculativeSearchDriver`); ``None``
+    #: for the serial driver.  Diagnostic like ``search_trace``:
+    #: excluded from result fingerprints, so speculative and serial
+    #: runs stay fingerprint-identical.
+    search: SearchStats | None = None
+
+    @property
+    def search_stats(self) -> LegacySearchStats:
+        """The historical dict shape of :attr:`search`.
+
+        Kept for backwards compatibility: equality/iteration/JSON
+        behave as before, keyed access emits a
+        :class:`DeprecationWarning` (read the typed :attr:`search`
+        instead).
+        """
+        return LegacySearchStats(
+            {} if self.search is None else self.search.as_dict()
+        )
 
 
 class SchedulerState:
@@ -69,11 +84,13 @@ class SchedulerState:
         ii: int,
         priorities: dict[int, float],
         params: MirsParams,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.graph = graph
         self.machine = machine
         self.ii = ii
         self.params = params
+        self.tracer = tracer
         self.schedule = PartialSchedule(machine, ii)
         self.pl = PriorityList()
         for node_id, priority in priorities.items():
@@ -88,7 +105,8 @@ class SchedulerState:
         #: per-check recomputation (the old per-placement
         #: ``LifetimeAnalysis`` hot path).
         self.pressure = PressureTracker(
-            graph, self.schedule, machine, self.spilled_invariants
+            graph, self.schedule, machine, self.spilled_invariants,
+            tracer=tracer,
         )
         #: Incremental wrap-around register colouring: mirrors the
         #: tracker's lifetimes and serves the drained-regime register
@@ -100,7 +118,8 @@ class SchedulerState:
         self.colouring: IncrementalArcColouring | None = None
         if params.incremental_colouring and machine.cluster.registers is not None:
             self.colouring = IncrementalArcColouring(
-                graph, self.schedule, machine, self.pressure
+                graph, self.schedule, machine, self.pressure,
+                tracer=tracer,
             )
         # Memory operations are counted incrementally: spill insertion is
         # the only way the count grows (moves are not memory operations).

@@ -37,6 +37,10 @@ class ConvergenceError(SchedulingError):
             jumping policy (geometric backfill probes descend) this is
             not the largest II probed.
         highest_ii: the largest II actually probed by the search.
+        kind_histogram: ``{failure kind: count}`` over every executed
+            attempt of the search that gave up (the
+            ``AttemptOutcome.kind`` values), so the dominant failure
+            mode is machine-readable without a tracer attached.
     """
 
     def __init__(
@@ -44,10 +48,12 @@ class ConvergenceError(SchedulingError):
         message: str,
         last_ii: int | None = None,
         highest_ii: int | None = None,
+        kind_histogram: dict[str, int] | None = None,
     ):
         super().__init__(message)
         self.last_ii = last_ii
         self.highest_ii = highest_ii if highest_ii is not None else last_ii
+        self.kind_histogram = dict(kind_histogram or {})
 
 
 class AllocationError(ReproError):

@@ -38,6 +38,7 @@ from repro.exec.cache import ResultCache, resolve_cache
 from repro.exec.hashing import cache_key
 from repro.graph.ddg import DependenceGraph
 from repro.machine.config import MachineConfig
+from repro.obs import resolve_tracer
 
 JOBS_ENV = "REPRO_JOBS"
 
@@ -108,16 +109,38 @@ _WORKER_ENGINE = None
 
 
 def _init_worker(machine: MachineConfig, request: ScheduleRequest) -> None:
-    """Pool initializer: build the per-process scheduler once."""
+    """Pool initializer: build the per-process scheduler once.
+
+    A forked worker inherits the parent's process-global tracer along
+    with everything it has recorded (e.g. under ``REPRO_TRACE``); the
+    reset gives this worker an empty tracer of its own so the first
+    per-loop drain cannot replay the parent's history.
+    """
+    from repro.obs import reset_global_tracer
+
+    reset_global_tracer()
     global _WORKER_ENGINE
     _WORKER_ENGINE = make_engine(machine, request)
 
 
 def _schedule_item(
     item: tuple[int, DependenceGraph],
-) -> tuple[int, ScheduleResult]:
+) -> tuple[int, ScheduleResult, dict | None]:
+    """Schedule one loop in a worker, shipping its trace slice back.
+
+    With tracing on, the worker engine records into the worker's own
+    process-global tracer (tracer objects are never pickled across the
+    pool boundary); draining it after each loop ships exactly that
+    loop's events back through the result tuple, where the parent
+    merges them under a per-position ``worker:N`` thread id.
+    """
     position, graph = item
-    return position, _WORKER_ENGINE.schedule(graph)
+    result = _WORKER_ENGINE.schedule(graph)
+    payload = None
+    tracer = getattr(_WORKER_ENGINE, "tracer", None)
+    if getattr(tracer, "enabled", False):
+        payload = tracer.drain()
+    return position, result, payload
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +250,7 @@ class SuiteExecutor:
         )
         scheduler_name = request.scheduler
         resolved = request.resolved_params()
+        tracer = resolve_tracer(request.trace)
         started = time.perf_counter()
         work: list[DependenceGraph] = []
         for position, loop in enumerate(loops):
@@ -238,6 +262,15 @@ class SuiteExecutor:
         # Fail fast on an unknown scheduler, before pools or cache IO.
         make_engine(machine, request)
 
+        suite_span = (
+            tracer.begin(
+                "exec.suite", "exec",
+                machine=machine.name, scheduler=scheduler_name,
+                loops=len(work), jobs=self.jobs,
+            )
+            if tracer.enabled
+            else None
+        )
         results: dict[int, ScheduleResult] = {}
         keys: dict[int, str] = {}
         if self.cache is not None:
@@ -248,6 +281,11 @@ class SuiteExecutor:
                 cached = self.cache.get(keys[position])
                 if cached is not None:
                     results[position] = cached
+                if tracer.enabled:
+                    tracer.instant(
+                        "exec.cache", "exec",
+                        loop=graph.name, hit=cached is not None,
+                    )
         hits = len(results)
         misses = [(p, graph) for p, graph in enumerate(work) if p not in results]
 
@@ -259,9 +297,11 @@ class SuiteExecutor:
 
         if misses:
             if self.jobs > 1 and len(misses) > 1:
-                fresh = self._run_parallel(machine, request, misses)
+                fresh = self._run_parallel(machine, request, misses, tracer)
             else:
-                fresh = self._run_sequential(machine, request, misses)
+                fresh = self._run_sequential(
+                    machine, request, misses, tracer, started
+                )
             for position, result in fresh:
                 results[position] = result
                 if self.cache is not None:
@@ -271,10 +311,15 @@ class SuiteExecutor:
                     self.progress(done, total, result.loop, False)
 
         ordered = [results[position] for position in range(total)]
+        wall = time.perf_counter() - started
+        if suite_span is not None:
+            tracer.end(
+                suite_span, scheduled=len(misses), cache_hits=hits,
+            )
         self._record(
             machine, scheduler_name, ordered,
             scheduled=len(misses), hits=hits,
-            wall=time.perf_counter() - started,
+            wall=wall,
         )
         return ordered
 
@@ -285,30 +330,57 @@ class SuiteExecutor:
         machine: MachineConfig,
         request: ScheduleRequest,
         misses: list[tuple[int, DependenceGraph]],
+        tracer,
+        started: float,
     ) -> list[tuple[int, ScheduleResult]]:
-        engine = make_engine(machine, request)
-        return [(position, engine.schedule(graph)) for position, graph in misses]
+        # The engine inherits the resolved tracer directly, so its
+        # schedule/attempt spans land in the parent trace unmediated.
+        engine = make_engine(
+            machine, dataclasses.replace(request, trace=tracer)
+        )
+        produced = []
+        for position, graph in misses:
+            if tracer.enabled:
+                tracer.instant(
+                    "exec.queue", "exec",
+                    loop=graph.name, position=position,
+                    wait=round(time.perf_counter() - started, 6),
+                )
+            produced.append((position, engine.schedule(graph)))
+        return produced
 
     def _run_parallel(
         self,
         machine: MachineConfig,
         request: ScheduleRequest,
         misses: list[tuple[int, DependenceGraph]],
+        tracer,
     ) -> list[tuple[int, ScheduleResult]]:
         workers = min(self.jobs, len(misses))
         chunksize = max(1, len(misses) // (workers * 4))
         ctx = multiprocessing.get_context()
+        # Tracer objects never cross the pool boundary: the workers see
+        # a plain True/False and record into their own global tracers,
+        # shipping each loop's slice back in the result tuple.
+        wire = dataclasses.replace(request, trace=bool(tracer.enabled))
         with ctx.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(machine, request),
+            initargs=(machine, wire),
         ) as pool:
             produced = list(
                 pool.imap_unordered(_schedule_item, misses, chunksize=chunksize)
             )
         # Reassembled by position: completion order is load-dependent,
-        # the returned order must not be.
-        return sorted(produced, key=lambda pair: pair[0])
+        # the returned order must not be — and the merged trace follows
+        # the same positional order so traces stay deterministic modulo
+        # timestamps regardless of completion order.
+        produced.sort(key=lambda item: item[0])
+        if tracer.enabled:
+            for position, _result, payload in produced:
+                if payload is not None:
+                    tracer.merge(payload, tid=f"worker:{position}")
+        return [(position, result) for position, result, _ in produced]
 
     # ------------------------------------------------------------------
 

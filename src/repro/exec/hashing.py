@@ -199,7 +199,7 @@ def result_fingerprint(result: ScheduleResult) -> str:
 
     Wall-clock timing (``scheduling_seconds``), the II-search trace
     (``stats.search_trace``) and the speculative-search accounting
-    (``stats.search_stats``) are excluded: they are diagnostic (they
+    (``stats.search``) are excluded: they are diagnostic (they
     record *how* the II was found, not the schedule), and keeping them
     out lets the default :class:`~repro.core.search.LinearSearch`
     produce fingerprints bit-identical to the pre-policy scheduler's —
@@ -211,7 +211,8 @@ def result_fingerprint(result: ScheduleResult) -> str:
     """
     stats = dataclasses.asdict(result.stats)
     stats.pop("search_trace", None)
-    stats.pop("search_stats", None)
+    stats.pop("search_stats", None)  # pre-typed-ledger field name
+    stats.pop("search", None)
     payload = {
         "loop": result.loop,
         "machine": result.machine.canonical(),

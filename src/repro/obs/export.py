@@ -1,0 +1,215 @@
+"""Trace export: JSONL (the canonical artifact) and Chrome trace-event
+JSON (loadable in Perfetto / ``chrome://tracing``).
+
+The JSONL file is one header line followed by one line per event; every
+event line carries both the tracer-relative ``ts`` and an absolute
+``wall`` timestamp (``wall_epoch + ts``), so race events are wall-
+stamped without special-casing.  Both formats validate against the
+committed ``trace_schema.json`` — the validator is hand-rolled (plain
+type checks driven by the schema file) so no external dependency is
+needed.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import pathlib
+
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, RecordingTracer
+
+SCHEMA_PATH = pathlib.Path(__file__).with_name("trace_schema.json")
+
+_TYPES = {
+    "int": (int,),
+    "str": (str,),
+    "number": (int, float),
+    "object": (dict,),
+    "array": (list,),
+}
+
+
+@functools.cache
+def load_schema() -> dict:
+    """The committed trace schema (parsed once per process)."""
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def _payload_of(trace) -> dict:
+    if isinstance(trace, RecordingTracer):
+        return trace.export()
+    if isinstance(trace, dict):
+        return trace
+    raise TypeError(
+        f"cannot export {type(trace).__name__}; expected a "
+        "RecordingTracer or an exported payload dict"
+    )
+
+
+def _event_lines(payload: dict):
+    wall_epoch = payload.get("wall_epoch", 0.0)
+    for event in payload.get("events", ()):
+        line = dict(event)
+        line["wall"] = round(wall_epoch + event["ts"], 6)
+        yield line
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(trace, path) -> pathlib.Path:
+    """Write a trace as JSONL: header line, then one line per event."""
+    payload = _payload_of(trace)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "schema": payload.get("schema", TRACE_SCHEMA_VERSION),
+        "tid": payload.get("tid", "main"),
+        "wall_epoch": payload.get("wall_epoch", 0.0),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for line in _event_lines(payload):
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path) -> tuple[dict, list[dict]]:
+    """Parse a JSONL trace back into ``(header, events)``."""
+    lines = [
+        json.loads(text)
+        for text in pathlib.Path(path).read_text().splitlines()
+        if text.strip()
+    ]
+    if not lines:
+        raise ValueError(f"trace file {path} is empty")
+    return lines[0], lines[1:]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+
+def chrome_path_for(jsonl_path) -> pathlib.Path:
+    """The sibling Chrome-format path of a JSONL trace path."""
+    path = pathlib.Path(jsonl_path)
+    return path.with_name(path.stem + ".chrome.json")
+
+
+def chrome_payload(trace) -> dict:
+    """Lower a trace to the Chrome trace-event JSON object.
+
+    Spans become complete (``"X"``) events, instants ``"i"``, counters
+    ``"C"``; timestamps are microseconds as the format requires.
+    """
+    payload = _payload_of(trace)
+    events = []
+    for event in payload.get("events", ()):
+        ts = round(event["ts"] * 1e6, 3)
+        entry = {
+            "name": event["name"],
+            "cat": event["cat"],
+            "ts": ts,
+            "pid": 1,
+            "tid": str(event["tid"]),
+        }
+        if event["kind"] == "span":
+            entry["ph"] = "X"
+            entry["dur"] = round(event["dur"] * 1e6, 3)
+            entry["args"] = event["args"]
+        elif event["kind"] == "counter":
+            entry["ph"] = "C"
+            entry["args"] = {event["name"]: event["args"].get("value", 0)}
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+            entry["args"] = event["args"]
+        events.append(entry)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(trace, path) -> pathlib.Path:
+    """Write a trace in Chrome trace-event format (Perfetto-loadable)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_payload(trace), sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Validation against the committed schema
+# ----------------------------------------------------------------------
+
+
+def _check_required(obj: dict, spec: dict, where: str) -> list[str]:
+    errors = []
+    for field, type_name in spec.items():
+        if field not in obj:
+            errors.append(f"{where}: missing field {field!r}")
+        elif not isinstance(obj[field], _TYPES[type_name]) or isinstance(
+            obj[field], bool
+        ) and type_name != "bool":
+            errors.append(
+                f"{where}: field {field!r} is "
+                f"{type(obj[field]).__name__}, expected {type_name}"
+            )
+    return errors
+
+
+def validate_jsonl(header: dict, events: list[dict]) -> list[str]:
+    """Validate parsed JSONL lines; returns human-readable problems."""
+    schema = load_schema()["jsonl"]
+    errors = _check_required(header, schema["header"]["required"], "header")
+    if header.get("schema") != load_schema()["version"]:
+        errors.append(
+            f"header: schema version {header.get('schema')!r} != "
+            f"{load_schema()['version']}"
+        )
+    kinds = set(schema["event"]["kinds"])
+    last_seq: dict[str, int] = {}
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        errors.extend(
+            _check_required(event, schema["event"]["required"], where)
+        )
+        if event.get("kind") not in kinds:
+            errors.append(f"{where}: unknown kind {event.get('kind')!r}")
+        seq = event.get("seq")
+        tid = str(event.get("tid"))
+        if isinstance(seq, int):
+            if tid in last_seq and seq <= last_seq[tid]:
+                errors.append(
+                    f"{where}: seq {seq} not increasing on tid {tid!r}"
+                )
+            last_seq[tid] = seq
+    return errors
+
+
+def validate_chrome(payload: dict) -> list[str]:
+    """Validate a Chrome trace-event payload against the schema."""
+    schema = load_schema()["chrome"]
+    errors = _check_required(payload, schema["required"], "chrome")
+    if errors:
+        return errors
+    phases = set(schema["event"]["phases"])
+    for index, event in enumerate(payload["traceEvents"]):
+        where = f"chrome event {index}"
+        errors.extend(
+            _check_required(event, schema["event"]["required"], where)
+        )
+        if event.get("ph") not in phases:
+            errors.append(f"{where}: unknown phase {event.get('ph')!r}")
+        if event.get("ph") == "X" and not isinstance(
+            event.get("dur"), (int, float)
+        ):
+            errors.append(f"{where}: complete event without numeric dur")
+    return errors
+
+
+def validate_trace_file(path) -> list[str]:
+    """Validate an on-disk JSONL trace (convenience for CLI/tests)."""
+    header, events = read_jsonl(path)
+    return validate_jsonl(header, events)

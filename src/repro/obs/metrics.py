@@ -1,0 +1,88 @@
+"""Typed counters and gauges layered over the tracer.
+
+:class:`SearchStats` replaces the ad-hoc ``stats.search_stats`` dict
+the speculative driver used to assemble: the same ledger as a typed
+dataclass, emitted as tracer counter events and still reachable in the
+old dict shape through :class:`LegacySearchStats` (which warns on
+dict-style access).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+
+@dataclasses.dataclass
+class SearchStats:
+    """The II-search ledger of one :meth:`MirsC.schedule` call.
+
+    Attributes:
+        speculation: frontier width K the search ran with.
+        runner: class name of the attempt runner that executed it.
+        serial_attempts: attempts on the serial-equivalent path (what
+            the serial driver would have executed).
+        executed_attempts: attempts that actually completed (speculative
+            extras included).
+        launched: tasks submitted to the runner.
+        cancelled: in-flight attempts revoked.
+        cache_hits: attempts satisfied by the per-attempt result cache.
+    """
+
+    speculation: int = 1
+    runner: str = ""
+    serial_attempts: int = 0
+    executed_attempts: int = 0
+    launched: int = 0
+    cancelled: int = 0
+    cache_hits: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def emit(self, tracer, prefix: str = "race") -> None:
+        """Publish the integer counters as tracer gauge samples."""
+        for name, value in self.as_dict().items():
+            if isinstance(value, int):
+                tracer.counter(f"{prefix}.{name}", value)
+
+
+class LegacySearchStats(dict):
+    """``stats.search_stats``'s old dict shape, kept warm but warning.
+
+    Equality, iteration and JSON serialization behave exactly like the
+    historical plain dict; *keyed* access (``[...]``/``get``) warns so
+    callers migrate to the typed ``stats.search`` field.
+    """
+
+    @staticmethod
+    def _warn() -> None:
+        warnings.warn(
+            "dict-style access to SchedulerStats.search_stats is "
+            "deprecated; read the typed SchedulerStats.search "
+            "(repro.obs.SearchStats) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, key):
+        self._warn()
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        self._warn()
+        return super().get(key, default)
+
+
+def outcome_histogram(trace_entries) -> dict[str, int]:
+    """Failure/outcome-kind histogram of a ``search_trace``.
+
+    Accepts the ``as_trace_entry`` dicts stored in
+    ``SchedulerStats.search_trace``; returns ``{kind: count}`` sorted by
+    kind name (stable for messages and JSON artifacts).
+    """
+    histogram: dict[str, int] = {}
+    for entry in trace_entries:
+        kind = entry.get("kind", "unknown")
+        histogram[kind] = histogram.get(kind, 0) + 1
+    return dict(sorted(histogram.items()))

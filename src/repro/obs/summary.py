@@ -1,0 +1,174 @@
+"""Trace digestion: per-phase time breakdowns and attempt timelines.
+
+``repro trace summary PATH`` renders what :func:`summarize` computes
+from a JSONL trace:
+
+* per-phase wall time (the ``phase.*`` spans emitted by
+  :meth:`MirsC.schedule`), with the coverage ratio against the enclosing
+  ``schedule`` spans — the phases tile the schedule, so coverage sits
+  within a few percent of 1.0;
+* the attempt timeline: every ``attempt`` span in start order with its
+  II, outcome kind and duration (cancelled speculative attempts
+  included, marked as such);
+* event/count roll-ups (race ledger, exec cache hits, gauge values).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """Digest of one JSONL trace (see :func:`summarize`)."""
+
+    events: int
+    span_seconds: dict[str, float]
+    span_counts: dict[str, int]
+    schedule_seconds: float
+    phase_seconds: dict[str, float]
+    attempts: list[dict]
+    instants: dict[str, int]
+    gauges: dict[str, float]
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def phase_coverage(self) -> float:
+        """Summed phase time over summed schedule time (≈1.0)."""
+        if not self.schedule_seconds:
+            return 0.0
+        return sum(self.phase_seconds.values()) / self.schedule_seconds
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable tables (the ``repro trace summary`` output)."""
+        from repro.eval.reporting import render_table
+
+        phase_rows = [
+            [name, round(seconds, 4), self.span_counts.get(name, 0)]
+            for name, seconds in sorted(self.phase_seconds.items())
+        ]
+        phase_rows.append(
+            ["(schedule total)", round(self.schedule_seconds, 4),
+             self.span_counts.get("schedule", 0)]
+        )
+        out = [
+            render_table(
+                f"Per-phase time breakdown ({self.events} events, "
+                f"coverage {self.phase_coverage:.1%})",
+                ["phase", "seconds", "spans"],
+                phase_rows,
+            )
+        ]
+        if self.attempts:
+            rows = [
+                [
+                    entry["tid"],
+                    entry.get("ii", "?"),
+                    "cancelled" if entry.get("cancelled")
+                    else entry.get("kind", "?"),
+                    round(entry["ts"], 4),
+                    round(entry["dur"], 4),
+                ]
+                for entry in self.attempts[:40]
+            ]
+            note = (
+                f"showing 40 of {len(self.attempts)} attempts"
+                if len(self.attempts) > 40 else None
+            )
+            out.append("")
+            out.append(
+                render_table(
+                    "Attempt timeline",
+                    ["track", "II", "outcome", "start s", "dur s"],
+                    rows,
+                    note,
+                )
+            )
+        roll = [
+            [name, count] for name, count in sorted(self.instants.items())
+        ]
+        if self.cache_hits or self.cache_misses:
+            roll.append(
+                ["exec cache hit/miss",
+                 f"{self.cache_hits}/{self.cache_misses}"]
+            )
+        roll.extend(
+            [name, value] for name, value in sorted(self.gauges.items())
+        )
+        if roll:
+            out.append("")
+            out.append(
+                render_table("Event roll-up", ["event", "count"], roll)
+            )
+        return "\n".join(out)
+
+
+def summarize(header: dict, events: list[dict]) -> TraceSummary:
+    """Digest parsed JSONL lines (see :func:`repro.obs.export.read_jsonl`)."""
+    span_seconds: dict[str, float] = {}
+    span_counts: dict[str, int] = {}
+    phase_seconds: dict[str, float] = {}
+    attempts: list[dict] = []
+    instants: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    schedule_seconds = 0.0
+    cache_hits = 0
+    cache_misses = 0
+
+    for event in events:
+        name = event.get("name", "?")
+        kind = event.get("kind")
+        if kind == "span":
+            dur = float(event.get("dur", 0.0))
+            span_seconds[name] = span_seconds.get(name, 0.0) + dur
+            span_counts[name] = span_counts.get(name, 0) + 1
+            if name == "schedule":
+                schedule_seconds += dur
+            elif name.startswith("phase."):
+                phase_seconds[name] = phase_seconds.get(name, 0.0) + dur
+            elif name == "attempt":
+                args = event.get("args", {})
+                attempts.append(
+                    {
+                        "tid": str(event.get("tid", "?")),
+                        "ts": float(event.get("ts", 0.0)),
+                        "dur": dur,
+                        "ii": args.get("ii"),
+                        "kind": args.get("kind"),
+                        "cancelled": bool(args.get("cancelled", False)),
+                    }
+                )
+        elif kind == "instant":
+            instants[name] = instants.get(name, 0) + 1
+            if name == "exec.cache":
+                if event.get("args", {}).get("hit"):
+                    cache_hits += 1
+                else:
+                    cache_misses += 1
+        elif kind == "counter":
+            gauges[name] = event.get("args", {}).get("value", 0)
+
+    attempts.sort(key=lambda entry: entry["ts"])
+    return TraceSummary(
+        events=len(events),
+        span_seconds=span_seconds,
+        span_counts=span_counts,
+        schedule_seconds=schedule_seconds,
+        phase_seconds=phase_seconds,
+        attempts=attempts,
+        instants=instants,
+        gauges=gauges,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+    )
+
+
+def summarize_file(path) -> TraceSummary:
+    """Digest an on-disk JSONL trace."""
+    from repro.obs.export import read_jsonl
+
+    header, events = read_jsonl(path)
+    return summarize(header, events)

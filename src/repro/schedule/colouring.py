@@ -191,13 +191,20 @@ class IncrementalArcColouring:
         machine: MachineConfig,
         tracker: PressureTracker,
         self_check: bool | None = None,
+        tracer=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.graph = graph
         self.schedule = schedule
         self.machine = machine
         self.tracker = tracker
         self.ii = tracker.ii
         self.self_check = SELF_CHECK if self_check is None else self_check
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Allocation queries served (per-attempt diagnostic; reported
+        #: on the attempt span and at detach).
+        self.queries = 0
         self._buckets: dict[int, _ClusterBucket] | None = None
         self._events_since_query = 0
         #: Monotone lifetime-event count (diagnostics; the allocator
@@ -205,6 +212,8 @@ class IncrementalArcColouring:
         #: mutation epoch instead of once per query).
         self.events_seen = 0
         tracker.lifetime_listeners.append(self)
+        if self.tracer.enabled:
+            self.tracer.instant("colour.attach", "alloc", ii=self.ii)
         if self.self_check:
             self._ensure_built()
 
@@ -212,6 +221,10 @@ class IncrementalArcColouring:
         """Stop observing the tracker (end of an attempt)."""
         if self in self.tracker.lifetime_listeners:
             self.tracker.lifetime_listeners.remove(self)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "colour.detach", "alloc", queries=self.queries
+            )
 
     # ------------------------------------------------------------------
     # Event handler (called by PressureTracker)
@@ -242,6 +255,11 @@ class IncrementalArcColouring:
             _IDLE_EVENT_FACTOR * len(self.tracker._entries),
         ):
             self._buckets = None
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "colour.idle_valve", "alloc",
+                    action="teardown", events=self._events_since_query,
+                )
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -256,6 +274,11 @@ class IncrementalArcColouring:
             for node_id, entry in self.tracker._entries.items():
                 buckets[entry.cluster].add(node_id, entry.start, entry.end)
             self._buckets = buckets
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "colour.idle_valve", "alloc",
+                    action="rebuild", arcs=len(self.tracker._entries),
+                )
         self._events_since_query = 0
         return self._buckets
 
@@ -288,6 +311,7 @@ class IncrementalArcColouring:
         Equals ``allocate_registers(...)[cluster].registers_used`` on the
         same state, at O(changed lifetimes) instead of O(values * II).
         """
+        self.queries += 1
         used = self.variant_registers(cluster) + self.tracker.invariant_registers(
             cluster
         )

@@ -127,11 +127,18 @@ class PressureTracker:
         machine: MachineConfig,
         spilled_invariants: set[tuple[int, int]] | None = None,
         self_check: bool | None = None,
+        tracer=None,
     ):
+        from repro.obs.tracer import NULL_TRACER
+
         self.graph = graph
         self.schedule = schedule
         self.machine = machine
         self.ii = schedule.ii
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: MaxLive/critical-row queries served (per-attempt diagnostic;
+        #: reported on the attempt span and at detach).
+        self.queries = 0
         self.spilled_invariants = (
             spilled_invariants if spilled_invariants is not None else set()
         )
@@ -154,6 +161,8 @@ class PressureTracker:
             self._refresh(node_id)
         graph._listeners.append(self)
         schedule.listeners.append(self)
+        if self.tracer.enabled:
+            self.tracer.instant("pressure.attach", "alloc", ii=self.ii)
 
     def detach(self) -> None:
         """Stop observing the graph and schedule (end of an attempt)."""
@@ -161,6 +170,10 @@ class PressureTracker:
             self.graph._listeners.remove(self)
         if self in self.schedule.listeners:
             self.schedule.listeners.remove(self)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "pressure.detach", "alloc", queries=self.queries
+            )
 
     # ------------------------------------------------------------------
     # Event handlers (called by PartialSchedule and DependenceGraph)
@@ -357,11 +370,13 @@ class PressureTracker:
         return self._rows[cluster]
 
     def max_live(self, cluster: int) -> int:
+        self.queries += 1
         rows = self._rows[cluster]
         variant = int(rows.max()) if rows.size else 0
         return variant + self.invariant_registers(cluster)
 
     def critical_row(self, cluster: int) -> int:
+        self.queries += 1
         rows = self._rows[cluster]
         if rows.size == 0:
             return 0
@@ -369,6 +384,7 @@ class PressureTracker:
 
     def max_live_all(self) -> dict[int, int]:
         """MaxLive of every cluster, with one invariant-count pass."""
+        self.queries += 1
         counts = self._invariant_registers()
         return {
             cluster: (int(rows.max()) if rows.size else 0)

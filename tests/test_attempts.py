@@ -254,10 +254,8 @@ class TestSpeculativeIdentity:
         serial = MirsC(
             machine, strict=False, search="geometric", speculation=1
         ).schedule(graph.clone())
-        assert found.stats["runner"] == "SerialAttemptRunner"
-        assert found.stats["executed_attempts"] == found.stats[
-            "serial_attempts"
-        ]
+        assert found.stats.runner == "SerialAttemptRunner"
+        assert found.stats.executed_attempts == found.stats.serial_attempts
         assert [r.ii for r in found.path] == [
             entry["ii"] for entry in serial.stats.search_trace
         ]
@@ -290,21 +288,21 @@ class TestCancellationAccounting:
         speculative = MirsC(
             machine, strict=False, speculation=4
         ).schedule(graph.clone())
-        stats = speculative.stats.search_stats
-        assert stats["speculation"] == 4
-        assert stats["serial_attempts"] == serial_attempts
-        assert stats["executed_attempts"] < serial_attempts + 4
-        assert stats["launched"] >= stats["executed_attempts"] - stats[
-            "cache_hits"
-        ]
-        assert stats["cancelled"] >= 0
+        stats = speculative.stats.search
+        assert stats is not None
+        assert stats.speculation == 4
+        assert stats.serial_attempts == serial_attempts
+        assert stats.executed_attempts < serial_attempts + 4
+        assert stats.launched >= stats.executed_attempts - stats.cache_hits
+        assert stats.cancelled >= 0
         assert result_fingerprint(speculative) == result_fingerprint(serial)
 
     def test_serial_search_records_no_speculation_stats(self):
         result = MirsC(UNIFIED, strict=False, speculation=1).schedule(
             daxpy()
         )
-        assert result.stats.search_stats == {}
+        assert result.stats.search is None
+        assert result.stats.search_stats == {}  # legacy dict shape
 
 
 # ----------------------------------------------------------------------
@@ -325,13 +323,13 @@ class TestAttemptCache:
         cold = SpeculativeSearchDriver(
             machine, params, 2, runner=SerialAttemptRunner(), cache=cache
         ).search(graph.clone(), ordering.priority, mii, limit)
-        assert cold.stats["cache_hits"] == 0
-        assert cold.stats["executed_attempts"] > 0
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.executed_attempts > 0
 
         warm = SpeculativeSearchDriver(
             machine, params, 2, runner=SerialAttemptRunner(), cache=cache
         ).search(graph.clone(), ordering.priority, mii, limit)
-        assert warm.stats["cache_hits"] == cold.stats["executed_attempts"]
+        assert warm.stats.cache_hits == cold.stats.executed_attempts
         assert warm.best is not None and cold.best is not None
         assert warm.best.ii == cold.best.ii
         assert [r.outcome for r in warm.path] == [
