@@ -17,6 +17,14 @@ artifact):
   arc-colouring engine must keep bit-stable: any drift against the
   previous night's artifact means the allocator changed behaviour.
 
+Every converged schedule is then emitted and put through the static
+code certifier (:mod:`repro.analysis`): the per-machine ``certifier``
+section publishes the loop/bundle/read counts and the (expected-zero)
+violation total; any violation, emission failure, or non-ok verdict is
+a nightly failure.  At the paper's 1258-loop population this is the
+widest certification sweep in the repo - far beyond the 16-loop
+workbench the tier-1 suite and bench_scheduler gate.
+
 Each run also carries a :class:`repro.obs.RecordingTracer`, and the
 per-machine ``obs`` section aggregates what it saw: wall-time summed
 per scheduler phase (``phase.prepare``/``phase.search``/
@@ -34,6 +42,9 @@ import time
 from conftest import RESULTS_DIR, loops_for
 
 from repro import ScheduleRequest
+from repro.analysis import certify_code
+from repro.codegen import generate_code
+from repro.errors import CodegenError
 from repro.eval.reporting import render_table
 from repro.eval.runner import schedule_suite
 from repro.machine.config import parse_config
@@ -53,6 +64,50 @@ def _phase_seconds(tracer: RecordingTracer) -> dict[str, float]:
                 event.dur or 0.0
             )
     return {name: round(seconds, 3) for name, seconds in sorted(totals.items())}
+
+
+def _certify_run(results) -> dict:
+    """Emit and statically certify every converged schedule of one run.
+
+    Returns the aggregate the nightly JSON publishes: how much code was
+    proven (loops, bundles, reads), the violation total (expected zero
+    night over night), and per-loop detail only for the offenders so a
+    bad night's artifact pinpoints them without bloating a clean one.
+    """
+    section: dict = {
+        "loops": 0,
+        "bundles": 0,
+        "reads": 0,
+        "violations": 0,
+        "certify_seconds": 0.0,
+        "violation_kinds": {},
+        "offenders": {},
+        "emission_failures": {},
+    }
+    started = time.perf_counter()
+    for result in results:
+        try:
+            code = generate_code(result)
+        except CodegenError as error:
+            section["emission_failures"][error.loop] = error.kind
+            continue
+        report = certify_code(code, result)
+        section["loops"] += 1
+        section["bundles"] += report.bundles_checked
+        section["reads"] += report.reads_checked
+        section["violations"] += len(report.violations)
+        for kind, count in report.kind_histogram().items():
+            section["violation_kinds"][kind] = (
+                section["violation_kinds"].get(kind, 0) + count
+            )
+        if report.violations:
+            section["offenders"][result.loop] = [
+                violation.render() for violation in report.violations
+            ]
+    section["certify_seconds"] = round(
+        time.perf_counter() - started, 3
+    )
+    return section
 
 
 def test_nightly_paper_scale_suite(executor, table_sink):
@@ -106,11 +161,16 @@ def test_nightly_paper_scale_suite(executor, table_sink):
                 ),
             },
         }
+        # Static certification sweep over everything that converged:
+        # the violation count is a published (expected-zero) nightly
+        # observable, same as the register trajectory.
+        certifier = _certify_run(run.converged)
+        entry["certifier"] = certifier
         payload["machines"].append(entry)
         rows.append([
             machine_name, entry["loops"], entry["converged"],
             entry["sum_ii"], entry["wall_seconds"],
-            entry["placements_per_sec"],
+            entry["placements_per_sec"], certifier["violations"],
         ])
         # MIRS-C's contract: spilling makes every loop schedulable.
         # Collected (not raised) so a failing night still writes and
@@ -121,6 +181,20 @@ def test_nightly_paper_scale_suite(executor, table_sink):
                 f"{len(run.results) - len(run.converged)} loops failed "
                 f"to converge"
             )
+        if certifier["emission_failures"]:
+            failures.append(
+                f"{machine_name}: code emission failed on "
+                f"{len(certifier['emission_failures'])} converged "
+                f"loop(s): {certifier['emission_failures']}"
+            )
+        if certifier["violations"]:
+            failures.append(
+                f"{machine_name}: static certifier reported "
+                f"{certifier['violations']} violation(s) over "
+                f"{certifier['loops']} loops "
+                f"(kinds: {certifier['violation_kinds']}; offenders in "
+                f"BENCH_nightly.json)"
+            )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     out_path = RESULTS_DIR / "BENCH_nightly.json"
@@ -129,11 +203,12 @@ def test_nightly_paper_scale_suite(executor, table_sink):
         "nightly_suite",
         render_table(
             f"Nightly paper-scale suite ({count} loops)",
-            ["machine", "loops", "conv", "sum II", "wall s", "plc/s"],
+            ["machine", "loops", "conv", "sum II", "wall s", "plc/s",
+             "cert viol"],
             rows,
             "trajectories (per-loop II / registers_used / MaxLive) plus "
-            "per-phase times and attempt-outcome histograms in "
-            "BENCH_nightly.json",
+            "per-phase times, attempt-outcome histograms and the static "
+            "certification sweep in BENCH_nightly.json",
         ),
     )
     assert failures == [], "; ".join(failures)

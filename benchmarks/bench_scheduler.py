@@ -64,6 +64,19 @@ measured in the same process on the same calls, so no baseline or
 calibration is involved).  Per-loop rows also record ``registers_used``
 (summed over clusters), giving the nightly paper-scale run its register
 trajectory next to placements/sec.
+
+A ``certifier`` phase prices the static code certifier
+(:mod:`repro.analysis`) against the dynamic oracle of equivalent
+coverage: every workbench loop is scheduled on both reference machines,
+its emitted pipeline is certified, and the same schedules are then put
+through ``run_differential`` at each loop's **declared trip count** in
+the same process.  The certifier's fixpoint proves legality for every
+iteration of the loop, so the dynamic check of equal strength executes
+the loop in full - a short smoke simulation would prove strictly less.
+The gate requires **zero** violations over the whole workbench and a
+certify wall under 5% of the differential wall - both sides are timed
+back to back on the same host, so the ratio needs no calibration or
+committed baseline.
 """
 
 from __future__ import annotations
@@ -97,6 +110,9 @@ STRESS_MACHINE = "1-(GP8M4-REG64)"
 STRESS_POLICIES = ("linear", "geometric")
 #: The workbench phase is always the full 16-loop subset (see above).
 WORKBENCH_COUNT = 16
+#: The certify wall must stay under this fraction of the differential
+#: wall (the acceptance bound of the static-certifier PR).
+CERTIFY_WALL_FRACTION = 0.05
 
 
 def calibration_graph():
@@ -341,6 +357,128 @@ def _measure_allocator(stress_loops) -> dict:
         else None
     )
     return stats
+
+
+def _measure_certifier(workbench_loops) -> dict:
+    """Static certification vs dynamic differential, same schedules.
+
+    Every workbench loop is scheduled on both reference machines and
+    its emitted code certified; the identical schedules then run
+    through ``run_differential`` at the loop's declared trip count
+    (cache off - the point is to price the execution the certifier
+    displaces, not the memo table).  Both walls are measured back to
+    back in this process, so the <5% bound needs no calibration.
+    Scheduling and codegen are deliberately *outside* both timed
+    regions: they are common to either checking strategy.
+    """
+    from repro.analysis import certify_code
+    from repro.codegen import generate_code
+    from repro.sim.differential import run_differential
+
+    section: dict = {
+        "machines": [],
+        "loops": 0,
+        "violations": 0,
+        "mismatches": 0,
+        "certify_seconds": 0.0,
+        "differential_seconds": 0.0,
+        "violation_kinds": {},
+    }
+    for machine_name in WORKBENCH_MACHINES:
+        run = schedule_suite(
+            parse_config(machine_name),
+            workbench_loops,
+            session=SessionConfig(jobs=1, cache=False),
+        )
+        emitted = [
+            (result, generate_code(result)) for result in run.converged
+        ]
+
+        started = time.perf_counter()
+        reports = [
+            certify_code(code, result) for result, code in emitted
+        ]
+        certify_wall = time.perf_counter() - started
+
+        started = time.perf_counter()
+        diff_reports = [
+            run_differential(result, result.graph.trip_count, cache=False)
+            for result, _ in emitted
+        ]
+        diff_wall = time.perf_counter() - started
+
+        violations = sum(len(r.violations) for r in reports)
+        kinds: dict[str, int] = {}
+        for report in reports:
+            for kind, count in report.kind_histogram().items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        entry = {
+            "machine": machine_name,
+            "loops": len(emitted),
+            "converged": len(run.converged),
+            "scheduled": len(run.results),
+            "bundles": sum(r.bundles_checked for r in reports),
+            "reads": sum(r.reads_checked for r in reports),
+            "violations": violations,
+            "mismatches": sum(1 for d in diff_reports if not d.match),
+            "certify_seconds": round(certify_wall, 4),
+            "differential_seconds": round(diff_wall, 4),
+        }
+        section["machines"].append(entry)
+        section["loops"] += entry["loops"]
+        section["violations"] += violations
+        section["mismatches"] += entry["mismatches"]
+        section["certify_seconds"] += certify_wall
+        section["differential_seconds"] += diff_wall
+        for kind, count in kinds.items():
+            section["violation_kinds"][kind] = (
+                section["violation_kinds"].get(kind, 0) + count
+            )
+    section["certify_seconds"] = round(section["certify_seconds"], 4)
+    section["differential_seconds"] = round(
+        section["differential_seconds"], 4
+    )
+    section["wall_fraction"] = (
+        round(
+            section["certify_seconds"] / section["differential_seconds"], 4
+        )
+        if section["differential_seconds"]
+        else None
+    )
+    return section
+
+
+def _gate_certifier(section: dict) -> list[str]:
+    """The static-certifier gates (see ``_measure_certifier``)."""
+    failures: list[str] = []
+    if section["loops"] == 0:
+        failures.append("certifier phase saw no emitted loops")
+    for entry in section["machines"]:
+        if entry["converged"] != entry["scheduled"]:
+            failures.append(
+                f"{entry['machine']}: only {entry['converged']} of "
+                f"{entry['scheduled']} workbench loops converged"
+            )
+    if section["violations"]:
+        failures.append(
+            f"static certifier reported {section['violations']} "
+            f"violation(s) on the clean workbench "
+            f"(kinds: {section['violation_kinds']})"
+        )
+    if section["mismatches"]:
+        failures.append(
+            f"differential oracle disagreed on {section['mismatches']} "
+            f"workbench loop(s) the certifier passed"
+        )
+    fraction = section["wall_fraction"]
+    if fraction is None or fraction >= CERTIFY_WALL_FRACTION:
+        failures.append(
+            f"certify wall {section['certify_seconds']}s is not under "
+            f"{CERTIFY_WALL_FRACTION:.0%} of the differential wall "
+            f"{section['differential_seconds']}s "
+            f"(measured {fraction if fraction is None else f'{fraction:.2%}'})"
+        )
+    return failures
 
 
 def _measure_speculation(stress_loops) -> dict:
@@ -667,6 +805,13 @@ def test_scheduler_throughput(table_sink):
             f"calls)"
         )
 
+    # Static-certifier phase: zero violations over the workbench and a
+    # certify wall under 5% of the equivalent differential run (see
+    # _measure_certifier).
+    certifier = _measure_certifier(workbench_loops)
+    payload["certifier"] = certifier
+    certifier_failures = _gate_certifier(certifier)
+
     baseline = _load_baseline()
     if os.environ.get("REPRO_BENCH_REQUIRE_BASELINE"):
         assert baseline is not None, (
@@ -783,6 +928,17 @@ def test_scheduler_throughput(table_sink):
         observability["converged"], observability["wall_seconds"],
         round(observability["wall_seconds"] / calibration, 1), "-",
     ])
+    for entry in certifier["machines"]:
+        rows.append([
+            "certifier", entry["machine"], entry["loops"],
+            entry["converged"], entry["certify_seconds"],
+            round(entry["certify_seconds"] / calibration, 2), "-",
+        ])
+    certifier_fraction_text = (
+        "n/a"
+        if certifier["wall_fraction"] is None
+        else f"{certifier['wall_fraction']:.2%}"
+    )
     note = (
         f"calibration {calibration * 1000:.0f} ms; "
         f"stress speedup vs pre-PR engine: "
@@ -796,7 +952,10 @@ def test_scheduler_throughput(table_sink):
         f"{allocator['calls']} calls, {len(allocator['mismatches'])} mismatches; "
         f"tracing-off overhead bound "
         f"{observability['overhead_fraction']:.2%} over "
-        f"{observability['touchpoints']} touchpoints"
+        f"{observability['touchpoints']} touchpoints; "
+        f"certifier: {certifier['violations']} violations over "
+        f"{sum(e['reads'] for e in certifier['machines'])} reads, "
+        f"certify/differential wall {certifier_fraction_text}"
     )
     table_sink(
         "scheduler_throughput",
@@ -809,6 +968,7 @@ def test_scheduler_throughput(table_sink):
     assert speculation_failures == [], "; ".join(speculation_failures)
     assert allocator_failures == [], "; ".join(allocator_failures)
     assert observability_failures == [], "; ".join(observability_failures)
+    assert certifier_failures == [], "; ".join(certifier_failures)
     assert all(
         entry["placements"] > 0
         for entry in payload["workbench"]["machines"]

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Statically certify an emitted software pipeline - no simulation.
+
+Schedules a kernel, emits the pipeline (prologue / MVE-unrolled kernel /
+epilogue), then proves bundle-level legality with the static certifier
+of ``repro.analysis``: reaching definitions and liveness over the
+renamed registers, latency respect across the kernel back-edge,
+per-bundle resource fits, cross-cluster reads only through moves, and
+the stage-count replication invariant.  The proof covers *every*
+iteration of the loop, at a cost independent of the trip count - where
+the differential simulator pays per executed cycle.
+
+The second half of the script then breaks the code on purpose (the
+copy-label shift bug a hand-written emitter is prone to) and shows the
+certifier naming the defect statically.
+
+Run with::
+
+    python examples/certify_pipeline.py
+"""
+
+import dataclasses
+import re
+
+from repro import LoopBuilder, MirsC, certify_code, parse_config
+from repro.codegen import generate_code
+from repro.eval.reporting import render_table
+
+
+def build_kernel():
+    b = LoopBuilder("saxpy2", trip_count=256)
+    x = b.load(array=0)
+    y = b.load(array=1)
+    a = b.invariant("a")
+    t = b.mul(x, a)
+    s = b.add(t, y)
+    b.store(s, array=2)
+    return b.build()
+
+
+def sabotage_copy_labels(code):
+    """Re-seed the classic emitter bug: kernel copy labels shifted so
+    the kernel's first pass reads renamed registers the prologue never
+    wrote (wrong whenever (SC-1) % MVE != 0)."""
+    mve = code.mve_factor
+    shift = code.stage_count - 1
+
+    def rename(name):
+        return re.sub(
+            r"\.k(\d+)",
+            lambda m: f".k{(int(m.group(1)) - shift) % mve}",
+            name,
+        )
+
+    def rewrite(bundles):
+        return [
+            [
+                dataclasses.replace(
+                    inst,
+                    dest=rename(inst.dest) if inst.dest else inst.dest,
+                    sources=tuple(rename(s) for s in inst.sources),
+                )
+                for inst in bundle
+            ]
+            for bundle in bundles
+        ]
+
+    return dataclasses.replace(
+        code, kernel=rewrite(code.kernel), epilogue=rewrite(code.epilogue)
+    )
+
+
+def main() -> None:
+    graph = build_kernel()
+    rows = []
+    for config in ("1-(GP8M4-REG64)", "2-(GP4M2-REG32)", "4-(GP2M1-REG16)"):
+        machine = parse_config(config)
+        result = MirsC(machine).schedule(graph.clone())
+        code = generate_code(result)
+        report = certify_code(code, result)
+        rows.append(
+            [
+                machine.name,
+                report.ii,
+                f"{report.stage_count}/{report.mve_factor}",
+                report.bundles_checked,
+                report.reads_checked,
+                report.passes_checked,
+                "CERTIFIED" if report.ok else "REJECTED",
+            ]
+        )
+    print(
+        render_table(
+            "Statically certifying saxpy2 (all 256 iterations, no simulation)",
+            [
+                "config", "II", "SC/MVE", "bundles", "reads",
+                "fixpoint passes", "verdict",
+            ],
+            rows,
+            "every register read proven reached by the right definition; "
+            "latencies, resources and cluster locality checked per bundle.",
+        )
+    )
+
+    # Now break the code the way a hand-written emitter would and let
+    # the certifier name the bug - no execution, no reference run.
+    machine = parse_config("1-(GP8M4-REG64)")
+    result = MirsC(machine).schedule(graph.clone())
+    broken = sabotage_copy_labels(generate_code(result))
+    report = certify_code(broken, result)
+    print()
+    print("After shifting every kernel copy label (the classic emitter bug):")
+    print(f"  verdict: {'CERTIFIED' if report.ok else 'REJECTED'}")
+    for violation in report.violations[:4]:
+        print(f"  {violation.render()}")
+    if len(report.violations) > 4:
+        print(f"  ... and {len(report.violations) - 4} more")
+    assert not report.ok, "the sabotaged pipeline must be rejected"
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,13 @@ workload in :mod:`repro.workloads`; the memory-hierarchy simulator in
 :mod:`repro.eval`.
 """
 
+from repro.analysis import (
+    CertifierReport,
+    CertifierViolation,
+    ViolationKind,
+    certify_code,
+    certify_schedule,
+)
 from repro.baseline.noniterative import NonIterativeScheduler
 from repro.codegen.emitter import GeneratedCode, generate_code
 from repro.core.attempts import (
@@ -64,6 +71,8 @@ from repro.core.search import (
 from repro.core.verify import verify_schedule
 from repro.errors import (
     AllocationError,
+    CertificationError,
+    CodegenError,
     ConfigError,
     ConvergenceError,
     GraphError,
@@ -107,7 +116,11 @@ __all__ = [
     "AttemptResult",
     "AttemptTask",
     "BisectionSearch",
+    "CertificationError",
+    "CertifierReport",
+    "CertifierViolation",
     "ClusterConfig",
+    "CodegenError",
     "ConfigError",
     "ConvergenceError",
     "DependenceGraph",
@@ -141,6 +154,9 @@ __all__ = [
     "SpeculativeSearchDriver",
     "TechnologyModel",
     "Tracer",
+    "ViolationKind",
+    "certify_code",
+    "certify_schedule",
     "resolve_tracer",
     "compute_mii",
     "find_recurrences",

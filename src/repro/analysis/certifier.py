@@ -1,0 +1,828 @@
+"""Static certification of emitted VLIW software pipelines.
+
+:func:`certify_code` proves bundle-level legality of
+:func:`repro.codegen.generate_code` output *without executing it*: an
+O(code-size) dataflow analysis over the bundle CFG replaces the
+O(II x iterations) :mod:`repro.sim` differential for the properties
+that do not depend on concrete values.
+
+What is checked
+---------------
+
+* **Register dataflow** (reaching definitions + liveness, across the
+  modulo-expansion copy renaming): a symbolic register file maps every
+  architectural name to the ``(operation, iteration)`` instance that
+  last defined it - or to the loop-entry live-in it still holds.  Each
+  instruction's reads must observe exactly the instances its
+  dependence-graph operands require (``iteration - distance``), with
+  pre-loop instances resolving to live-ins.  A read observing a stale
+  live-in is the MVE copy-label bug; a read observing the wrong
+  instance is a renaming collision; a read of an unknown name is the
+  simulator's ``SimulationError``, proven statically.
+* **Bundle semantics**: sources are read before any write of the same
+  bundle lands (the walk evaluates whole bundles read-first), and two
+  writes to one register in one cycle are a collision.
+* **Latencies**: every matched producer->consumer pair must be spaced
+  at least the producer's latency apart in *concrete* cycles - the
+  kernel back-edge included, because the walk runs the kernel body
+  repeatedly until the register state reaches its fixpoint.
+* **Resources**: per-cycle usage, re-derived from the code alone via
+  the machine's reservation tables (unpipelined occupancy and the
+  move's two-cluster + bus reservation included), must fit the
+  :class:`~repro.machine.config.MachineConfig`.  On the linearized
+  pipeline every reservation is a contiguous cycle interval, so the
+  max-overlap count is an *exact* feasibility test (interval graphs
+  are perfect) - no backtracking search as in
+  :mod:`repro.core.verify`.
+* **Cluster locality**: non-move instructions read and write only
+  their own cluster's register file; moves read exactly from their
+  declared source cluster.
+* **Replication**: an operation of stage ``s`` appears ``SC - 1 - s``
+  times in the prologue, once per kernel copy, and ``s`` times in the
+  epilogue.
+
+The kernel back-edge fixpoint terminates because every destination
+register is rewritten each pass, so the shift-normalized state is
+eventually periodic; violations found on the explored passes cover all
+trip counts by translation invariance, and the epilogue is re-checked
+after every explored pass (a pipeline may drain after any number of
+passes >= 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.cfg import (
+    EPILOGUE,
+    KERNEL,
+    PROLOGUE,
+    BundleCFG,
+    BundleSite,
+    register_cluster,
+    split_sources,
+)
+from repro.analysis.model import (
+    CertifierReport,
+    CertifierViolation,
+    ViolationKind,
+)
+from repro.codegen.emitter import GeneratedCode, Instruction
+from repro.core.result import ScheduleResult
+from repro.errors import GraphError
+from repro.graph.ddg import DependenceGraph, DepKind, Edge, Node
+from repro.graph.latency import edge_latency
+from repro.machine.config import MachineConfig
+from repro.machine.reservation import ClusterRole, ReservationStep, reservation_steps
+from repro.machine.resources import OpKind, ResourceClass
+
+#: Hard cap on kernel passes explored before the certifier gives up on
+#: the dataflow fixpoint and reports a STRUCTURE violation (legal code
+#: converges within a couple of passes; the cap only guards degenerate
+#: sabotage).
+MAX_FIXPOINT_SLACK = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class _RegContent:
+    """What a register holds: a pipeline definition or a live-in.
+
+    ``write_cycle`` is the concrete cycle the defining instruction
+    issued at (-1 for live-ins, which are ready at loop entry).
+    """
+
+    node: int
+    iteration: int
+    live_in: bool
+    write_cycle: int
+
+    def describe(self) -> str:
+        if self.live_in:
+            return f"live-in of value {self.node} (iteration {self.iteration})"
+        return f"value {self.node} of iteration {self.iteration}"
+
+
+@dataclasses.dataclass(frozen=True)
+class _Expected:
+    """The instance one dependence-graph operand requires."""
+
+    edge: Edge
+    node: int
+    iteration: int
+    live_in: bool
+
+    def describe(self) -> str:
+        if self.live_in:
+            return f"live-in of value {self.node} (iteration {self.iteration})"
+        return f"value {self.node} of iteration {self.iteration}"
+
+
+class _Certifier:
+    """One certification run (see module docstring)."""
+
+    def __init__(self, code: GeneratedCode, schedule: ScheduleResult):
+        graph = schedule.graph
+        if graph is None:
+            raise GraphError(
+                f"certifying loop {schedule.loop!r} needs the schedule's "
+                "dependence graph"
+            )
+        self.code = code
+        self.schedule = schedule
+        self.graph: DependenceGraph = graph
+        self.machine: MachineConfig = schedule.machine
+        self.cfg = BundleCFG(code)
+        self.violations: list[CertifierViolation] = []
+        self._seen: set[
+            tuple[ViolationKind, str, int, str | None, int | None, str]
+        ] = set()
+        self.bundles_checked = 0
+        self.reads_checked = 0
+        self.passes_checked = 0
+        times = schedule.times
+        low = min(times.values(), default=0)
+        self.stage_of: dict[int, int] = {
+            node_id: (cycle - low) // code.ii for node_id, cycle in times.items()
+        }
+        #: (node, iteration) -> issue cycle, over the committed walk
+        #: (prologue + kernel passes); epilogue replays overlay it.
+        self.issue_cycle: dict[tuple[int, int], int] = {}
+        self._nodes: dict[int, Node] = {node.id: node for node in graph.nodes()}
+        self._reg_in: dict[int, list[Edge]] = {
+            node_id: graph.reg_producers(node_id) for node_id in self._nodes
+        }
+        self._other_in: dict[int, list[Edge]] = {
+            node_id: [
+                edge
+                for edge in graph.in_edges(node_id)
+                if edge.kind is not DepKind.REG
+            ]
+            for node_id in self._nodes
+        }
+        self._has_reg_consumers: dict[int, bool] = {
+            node_id: bool(graph.reg_consumers(node_id)) for node_id in self._nodes
+        }
+        self._invariant_names: dict[int, list[str]] = {
+            node_id: sorted(inv.name for inv in graph.invariants_of(node_id))
+            for node_id in self._nodes
+        }
+        #: Live-in modulus per value: a value held in ``m`` distinct
+        #: physical registers presents at most ``m`` distinct live-ins,
+        #: so pre-loop instances congruent modulo ``m`` are physically
+        #: one value (mirrors ``live_in_moduli_of_code`` - the semantic
+        #: contract the differential's reference interpreter uses too).
+        self._live_in_modulus: dict[int, int] = {
+            value: len(set(names)) for value, names in code.registers.items()
+        }
+        #: Edge latencies, resolved once: the dataflow walk re-checks
+        #: the same static edge on every kernel pass and epilogue
+        #: replay, and ``edge_latency`` re-derives the operation class
+        #: each time.
+        self._latency: dict[int, int] = {
+            id(edge): edge_latency(graph, edge, self.machine)
+            for edges in (self._reg_in, self._other_in)
+            for edge_list in edges.values()
+            for edge in edge_list
+        }
+
+    # ------------------------------------------------------------------
+    # Violation recording
+    # ------------------------------------------------------------------
+
+    def _report(
+        self,
+        kind: ViolationKind,
+        site: BundleSite | None,
+        register: str | None = None,
+        operation: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """Record one violation, deduplicating shift-equivalent repeats.
+
+        The kernel fixpoint and the per-pass epilogue replays revisit
+        the same static bundle; a defect there would otherwise be
+        reported once per visited pass.
+        """
+        section = site.section if site is not None else "code"
+        index = site.index if site is not None else -1
+        # Keyed without `detail` at concrete sites (details embed
+        # pass-dependent iteration numbers); whole-pipeline reports have
+        # pass-independent details and would collide without it.
+        key = (kind, section, index, register, operation,
+               detail if site is None else "")
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.violations.append(
+            CertifierViolation(
+                kind=kind,
+                section=section,
+                bundle=index,
+                register=register,
+                operation=operation,
+                detail=detail,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Structural checks
+    # ------------------------------------------------------------------
+
+    def check_structure(self) -> bool:
+        """Section lengths; False when the pipeline shape is unusable."""
+        code = self.code
+        fill = code.ii * (code.stage_count - 1)
+        ok = True
+        if len(code.prologue) != fill:
+            self._report(
+                ViolationKind.STRUCTURE,
+                None,
+                detail=(
+                    f"prologue has {len(code.prologue)} bundles, expected "
+                    f"II*(SC-1) = {fill}"
+                ),
+            )
+            ok = False
+        if len(code.epilogue) != fill:
+            self._report(
+                ViolationKind.STRUCTURE,
+                None,
+                detail=(
+                    f"epilogue has {len(code.epilogue)} bundles, expected "
+                    f"II*(SC-1) = {fill}"
+                ),
+            )
+            ok = False
+        kernel_cycles = code.ii * code.mve_factor
+        if len(code.kernel) != kernel_cycles:
+            self._report(
+                ViolationKind.STRUCTURE,
+                None,
+                detail=(
+                    f"kernel has {len(code.kernel)} bundles, expected "
+                    f"II*MVE = {kernel_cycles}"
+                ),
+            )
+            ok = False
+        return ok
+
+    def check_replication(self) -> None:
+        """The SC-1-s / MVE / s instance-count invariant, per node."""
+        counts: dict[str, dict[int, int]] = {PROLOGUE: {}, KERNEL: {}, EPILOGUE: {}}
+        for section, bundles in (
+            (PROLOGUE, self.code.prologue),
+            (KERNEL, self.code.kernel),
+            (EPILOGUE, self.code.epilogue),
+        ):
+            tally = counts[section]
+            for bundle in bundles:
+                for inst in bundle:
+                    tally[inst.node] = tally.get(inst.node, 0) + 1
+        sc = self.code.stage_count
+        mve = self.code.mve_factor
+        for node_id in sorted(self._nodes):
+            stage = self.stage_of.get(node_id)
+            if stage is None:
+                self._report(
+                    ViolationKind.STRUCTURE,
+                    None,
+                    operation=node_id,
+                    detail=f"node {node_id} has no scheduled cycle",
+                )
+                continue
+            expected = {
+                PROLOGUE: sc - 1 - stage,
+                KERNEL: mve,
+                EPILOGUE: stage,
+            }
+            for section, want in expected.items():
+                have = counts[section].get(node_id, 0)
+                if have != want:
+                    self._report(
+                        ViolationKind.REPLICATION,
+                        None,
+                        operation=node_id,
+                        detail=(
+                            f"stage-{stage} node {node_id} appears {have} "
+                            f"times in the {section}, expected {want}"
+                        ),
+                    )
+        for section, tally in counts.items():
+            for node_id in sorted(tally):
+                if node_id not in self._nodes:
+                    self._report(
+                        ViolationKind.STRUCTURE,
+                        None,
+                        operation=node_id,
+                        detail=(
+                            f"{section} issues node {node_id} which is not "
+                            "in the dependence graph"
+                        ),
+                    )
+
+    # ------------------------------------------------------------------
+    # Resource usage (re-derived from the code alone)
+    # ------------------------------------------------------------------
+
+    def check_resources(self) -> None:
+        """Exact per-cycle resource feasibility on the linearized code.
+
+        Enough kernel passes are materialized that any occupancy tail
+        (an unpipelined divide spans up to 30 cycles) wraps through the
+        back-edge into the next pass; prologue and epilogue bundles are
+        instruction subsets of their kernel rows, so the multi-pass
+        interior dominates every smaller trip count.
+        """
+        kernel_cycles = max(1, self.cfg.kernel_cycles)
+        max_occ = 1
+        kinds = {inst.kind for inst in self._steps_iter()}
+        for kind in kinds:
+            if kind.is_compute:
+                max_occ = max(max_occ, self.machine.occupancy(kind))
+        passes = max(2, -(-max_occ // kernel_cycles) + 1)
+
+        steps_of: dict[OpKind, tuple[ReservationStep, ...]] = {}
+        usage: dict[tuple[ResourceClass, int], dict[int, list[int]]] = {}
+        site_at: dict[int, BundleSite] = {}
+        for site in self.cfg.linearized(passes):
+            site_at[site.cycle] = site
+            for inst in site.bundle:
+                node = self._nodes.get(inst.node)
+                if node is None:
+                    continue
+                steps = steps_of.get(node.kind)
+                if steps is None:
+                    steps = reservation_steps(node.kind, self.machine)
+                    steps_of[node.kind] = steps
+                for step in steps:
+                    if step.role is ClusterRole.SELF:
+                        target = inst.cluster
+                    elif step.role is ClusterRole.SOURCE:
+                        if node.src_cluster is None:
+                            continue  # reported by the dataflow walk
+                        target = node.src_cluster
+                    else:
+                        if self.machine.buses is None:
+                            continue  # unbounded interconnect
+                        target = -1
+                    pool = usage.setdefault((step.resource, target), {})
+                    for offset in range(step.duration):
+                        cycle = site.cycle + step.offset + offset
+                        pool.setdefault(cycle, []).append(inst.node)
+
+        for (resource, target), pool in sorted(
+            usage.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+        ):
+            capacity = self.machine.instances(resource)
+            if capacity is None:
+                continue
+            for cycle in sorted(pool):
+                users = pool[cycle]
+                if len(users) <= capacity:
+                    continue
+                where = "interconnect" if target == -1 else f"cluster {target}"
+                site = site_at.get(cycle)
+                self._report(
+                    ViolationKind.RESOURCE,
+                    site,
+                    operation=sorted(users)[0],
+                    detail=(
+                        f"{len(users)} operations {sorted(set(users))} need "
+                        f"{resource.name} of {where} in one cycle but only "
+                        f"{capacity} instances exist"
+                    ),
+                )
+                break  # first overflow per pool is the diagnostic one
+
+    def _steps_iter(self) -> list[Node]:
+        return [
+            self._nodes[inst.node]
+            for inst in self.code.all_instructions()
+            if inst.node in self._nodes
+        ]
+
+    # ------------------------------------------------------------------
+    # Register dataflow
+    # ------------------------------------------------------------------
+
+    def _initial_state(self) -> dict[str, _RegContent]:
+        """Loop-entry register contents (mirrors the simulator).
+
+        Copy ``c`` of a value's register set is owned by pre-loop
+        iteration ``c - MVE``; aliased copies of non-expanded values
+        overwrite each other in ascending copy order, leaving iteration
+        -1 - exactly :meth:`VliwSimulator._initial_registers`, with
+        symbolic live-ins in place of concrete values.
+        """
+        mve = self.code.mve_factor
+        state: dict[str, _RegContent] = {}
+        for value, names in sorted(self.code.registers.items()):
+            for copy, name in enumerate(names):
+                state[name] = _RegContent(
+                    node=value,
+                    iteration=copy - mve,
+                    live_in=True,
+                    write_cycle=-1,
+                )
+        return state
+
+    def _expected_operands(self, node_id: int, iteration: int) -> list[_Expected]:
+        expected = []
+        for edge in self._reg_in[node_id]:
+            produced = iteration - edge.distance
+            if produced < 0:
+                # Collapse pre-loop instances onto the value's physical
+                # live-in registers (see ``_live_in_modulus``).
+                modulus = self._live_in_modulus.get(edge.src, 1)
+                produced = produced % modulus - modulus
+            expected.append(
+                _Expected(
+                    edge=edge,
+                    node=edge.src,
+                    iteration=produced,
+                    live_in=produced < 0,
+                )
+            )
+        return expected
+
+    def _check_instruction(
+        self,
+        site: BundleSite,
+        inst: Instruction,
+        state: dict[str, _RegContent],
+        issued: dict[tuple[int, int], int],
+        writes: list[tuple[str, _RegContent, int]],
+    ) -> None:
+        node = self._nodes.get(inst.node)
+        if node is None:
+            return  # reported by check_replication
+        stage = self.stage_of.get(inst.node)
+        if stage is None:
+            return  # reported by check_replication
+        iteration = site.block - stage
+        cluster = self.schedule.clusters.get(inst.node, inst.cluster)
+
+        reg_names, inv_names = split_sources(inst.sources)
+
+        # Cluster locality: moves read from their declared source
+        # cluster, everything else from its own register file.
+        source_cluster = node.src_cluster if node.is_move else cluster
+        if node.is_move and node.src_cluster is None:
+            self._report(
+                ViolationKind.STRUCTURE,
+                site,
+                operation=inst.node,
+                detail=f"move {inst.node} declares no source cluster",
+            )
+        for name in reg_names:
+            owner = register_cluster(name)
+            if owner is None:
+                self._report(
+                    ViolationKind.OPERAND_MISMATCH,
+                    site,
+                    register=name,
+                    operation=inst.node,
+                    detail=f"malformed register name {name!r}",
+                )
+            elif source_cluster is not None and owner != source_cluster:
+                self._report(
+                    ViolationKind.CROSS_CLUSTER,
+                    site,
+                    register=name,
+                    operation=inst.node,
+                    detail=(
+                        f"node {inst.node} on cluster {cluster} reads "
+                        f"{name} from cluster {owner} without a move"
+                        if not node.is_move
+                        else f"move {inst.node} reads {name} from cluster "
+                        f"{owner} but declares source {node.src_cluster}"
+                    ),
+                )
+
+        # Invariant operands must be exactly the graph's.
+        expected_invariants = self._invariant_names[inst.node]
+        if sorted(inv_names) != expected_invariants:
+            self._report(
+                ViolationKind.OPERAND_MISMATCH,
+                site,
+                operation=inst.node,
+                detail=(
+                    f"invariant operands {sorted(inv_names)} != "
+                    f"{expected_invariants} required by the graph"
+                ),
+            )
+
+        # Resolve every register read (before any write of this bundle).
+        contents: list[tuple[str, _RegContent | None]] = []
+        for name in reg_names:
+            self.reads_checked += 1
+            content = state.get(name)
+            if content is None:
+                self._report(
+                    ViolationKind.UNDEFINED_READ,
+                    site,
+                    register=name,
+                    operation=inst.node,
+                    detail=(
+                        f"node {inst.node} reads {name} which no definition "
+                        "or live-in ever reaches"
+                    ),
+                )
+            contents.append((name, content))
+
+        # Match reads against the graph's operands: exact instance
+        # matches first, then classify the leftovers.
+        expected = self._expected_operands(inst.node, iteration)
+        if len(reg_names) != len(expected):
+            self._report(
+                ViolationKind.OPERAND_MISMATCH,
+                site,
+                operation=inst.node,
+                detail=(
+                    f"{len(reg_names)} register operands for "
+                    f"{len(expected)} register dependences"
+                ),
+            )
+        unmatched_reads = list(contents)
+        for want in sorted(
+            expected, key=lambda w: (w.node, w.iteration)
+        ):
+            hit = None
+            for index, (name, content) in enumerate(unmatched_reads):
+                if (
+                    content is not None
+                    and content.live_in == want.live_in
+                    and content.node == want.node
+                    and content.iteration == want.iteration
+                ):
+                    hit = index
+                    break
+            if hit is not None:
+                name, content = unmatched_reads.pop(hit)
+                assert content is not None
+                if not content.live_in:
+                    latency = self._latency[id(want.edge)]
+                    if site.cycle < content.write_cycle + latency:
+                        self._report(
+                            ViolationKind.LATENCY,
+                            site,
+                            register=name,
+                            operation=inst.node,
+                            detail=(
+                                f"node {inst.node} reads {want.describe()} "
+                                f"{site.cycle - content.write_cycle} cycles "
+                                f"after its definition; latency is {latency}"
+                            ),
+                        )
+                continue
+            # No read observes the required instance: classify against
+            # the (deterministically chosen) first unmatched read.
+            offender = next(
+                ((n, c) for n, c in unmatched_reads if c is not None), None
+            )
+            if offender is None:
+                continue  # reads were undefined - already reported
+            name, content = offender
+            unmatched_reads.remove(offender)
+            assert content is not None
+            if content.live_in and not want.live_in:
+                kind = ViolationKind.STALE_LIVE_IN
+            else:
+                kind = ViolationKind.WRONG_PRODUCER
+            self._report(
+                kind,
+                site,
+                register=name,
+                operation=inst.node,
+                detail=(
+                    f"node {inst.node} needs {want.describe()} but {name} "
+                    f"holds {content.describe()}"
+                ),
+            )
+
+        # Destination bookkeeping.
+        if inst.dest is not None:
+            if not node.produces_value:
+                self._report(
+                    ViolationKind.OPERAND_MISMATCH,
+                    site,
+                    register=inst.dest,
+                    operation=inst.node,
+                    detail=f"{node.kind.value} node {inst.node} writes a register",
+                )
+            owner = register_cluster(inst.dest)
+            if owner is not None and owner != cluster:
+                self._report(
+                    ViolationKind.CROSS_CLUSTER,
+                    site,
+                    register=inst.dest,
+                    operation=inst.node,
+                    detail=(
+                        f"node {inst.node} on cluster {cluster} writes "
+                        f"{inst.dest} of cluster {owner}"
+                    ),
+                )
+            writes.append(
+                (
+                    inst.dest,
+                    _RegContent(
+                        node=inst.node,
+                        iteration=iteration,
+                        live_in=False,
+                        write_cycle=site.cycle,
+                    ),
+                    inst.node,
+                )
+            )
+        elif self._has_reg_consumers[inst.node]:
+            self._report(
+                ViolationKind.OPERAND_MISMATCH,
+                site,
+                operation=inst.node,
+                detail=(
+                    f"node {inst.node} has register consumers but the "
+                    "instruction writes no destination"
+                ),
+            )
+
+        # Memory / control ordering across the concrete walk.
+        for edge in self._other_in[inst.node]:
+            produced = iteration - edge.distance
+            if produced < 0:
+                continue
+            producer_cycle = issued.get((edge.src, produced))
+            if producer_cycle is None:
+                producer_cycle = self.issue_cycle.get((edge.src, produced))
+            if producer_cycle is None:
+                continue
+            latency = self._latency[id(edge)]
+            if site.cycle < producer_cycle + latency:
+                self._report(
+                    ViolationKind.LATENCY,
+                    site,
+                    operation=inst.node,
+                    detail=(
+                        f"{edge.kind.value} dependence {edge.src}->"
+                        f"{inst.node} (d={edge.distance}) violated: issued "
+                        f"{site.cycle - producer_cycle} cycles apart, "
+                        f"latency {latency}"
+                    ),
+                )
+        issued[(inst.node, iteration)] = site.cycle
+
+    def _walk_site(
+        self,
+        site: BundleSite,
+        state: dict[str, _RegContent],
+        issued: dict[tuple[int, int], int],
+    ) -> None:
+        """Execute one bundle symbolically: read-first, then write back."""
+        self.bundles_checked += 1
+        writes: list[tuple[str, _RegContent, int]] = []
+        for inst in site.bundle:
+            self._check_instruction(site, inst, state, issued, writes)
+        written: dict[str, int] = {}
+        for name, content, node_id in writes:
+            earlier = written.get(name)
+            if earlier is not None:
+                self._report(
+                    ViolationKind.WRITE_WRITE,
+                    site,
+                    register=name,
+                    operation=node_id,
+                    detail=(
+                        f"nodes {earlier} and {node_id} both write {name} "
+                        f"in one bundle"
+                    ),
+                )
+            written[name] = node_id
+            state[name] = content
+
+    def _normalized(
+        self, state: dict[str, _RegContent], passes: int
+    ) -> frozenset[tuple[str, bool, int, int]]:
+        """State modulo the per-pass iteration shift (fixpoint test)."""
+        shift = passes * self.code.mve_factor
+        return frozenset(
+            (
+                name,
+                content.live_in,
+                content.node,
+                content.iteration - (0 if content.live_in else shift),
+            )
+            for name, content in state.items()
+        )
+
+    def check_dataflow(self) -> None:
+        state = self._initial_state()
+        issued = self.issue_cycle
+        for site in self.cfg.prologue_sites():
+            self._walk_site(site, state, issued)
+
+        explored: set[frozenset[tuple[str, bool, int, int]]] = set()
+        max_passes = (
+            self.code.stage_count + self.code.mve_factor + MAX_FIXPOINT_SLACK
+        )
+        passes = 0
+        while True:
+            norm = self._normalized(state, passes)
+            if norm in explored:
+                break
+            explored.add(norm)
+            if passes >= 1:
+                # The pipeline may drain after *any* number of passes:
+                # replay the epilogue from the state entering this pass
+                # boundary, without committing its effects.
+                replay_state = dict(state)
+                replay_issued: dict[tuple[int, int], int] = {}
+                for site in self.cfg.epilogue_sites(passes):
+                    self._walk_site(site, replay_state, replay_issued)
+            if passes >= max_passes:
+                self._report(
+                    ViolationKind.STRUCTURE,
+                    None,
+                    detail=(
+                        f"register dataflow did not reach a fixpoint "
+                        f"within {max_passes} kernel passes"
+                    ),
+                )
+                break
+            for site in self.cfg.kernel_sites(passes):
+                self._walk_site(site, state, issued)
+            passes += 1
+        self.passes_checked = passes
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CertifierReport:
+        if self.check_structure():
+            self.check_replication()
+            self.check_resources()
+            self.check_dataflow()
+        return CertifierReport(
+            loop=self.code.loop,
+            machine=self.machine.name,
+            ii=self.code.ii,
+            stage_count=self.code.stage_count,
+            mve_factor=self.code.mve_factor,
+            passes_checked=self.passes_checked,
+            bundles_checked=self.bundles_checked,
+            reads_checked=self.reads_checked,
+            violations=tuple(self.violations),
+        )
+
+
+def certify_code(
+    code: GeneratedCode,
+    schedule: ScheduleResult,
+    *,
+    trace: object = None,
+) -> CertifierReport:
+    """Statically certify emitted code against its schedule and machine.
+
+    Args:
+        code: the :func:`repro.codegen.generate_code` output to certify.
+        schedule: the converged :class:`ScheduleResult` the code was
+            emitted from (supplies the dependence graph, the machine
+            configuration and the per-node cycles/clusters).
+        trace: optional tracer selector (as accepted by
+            :func:`repro.obs.resolve_tracer`); when tracing is on the
+            run records a ``certify`` span and one ``certify.violation``
+            instant per violation.
+
+    Returns:
+        A :class:`CertifierReport`; ``report.ok`` means every check
+        passed and the code is legal for every trip count.
+    """
+    from repro.obs import resolve_tracer
+
+    tracer = resolve_tracer(trace)
+    token = None
+    if tracer.enabled:
+        token = tracer.begin("certify", "analysis", loop=code.loop)
+    report = _Certifier(code, schedule).run()
+    if tracer.enabled:
+        for violation in report.violations:
+            tracer.instant("certify.violation", "analysis", **violation.as_dict())
+        tracer.end(
+            token,
+            ok=report.ok,
+            violations=len(report.violations),
+            reads=report.reads_checked,
+            bundles=report.bundles_checked,
+        )
+    return report
+
+
+def certify_schedule(
+    schedule: ScheduleResult, *, trace: object = None
+) -> CertifierReport:
+    """Emit code for a converged schedule and certify it.
+
+    Raises:
+        CodegenError: when the schedule did not converge or is
+            register-infeasible (no code exists to certify).
+    """
+    from repro.codegen.emitter import generate_code
+
+    return certify_code(generate_code(schedule), schedule, trace=trace)

@@ -1,0 +1,174 @@
+"""Structured certifier verdicts.
+
+A :class:`CertifierViolation` is one provable defect of emitted code:
+its :class:`ViolationKind` names the broken legality rule, and the
+``(section, bundle, register, operation)`` coordinates pin the first
+program point where the defect is observable.  Violations are plain
+records with a stable dict form (:meth:`CertifierViolation.as_dict`),
+so they export the same way :mod:`repro.obs` events do - JSON rows a
+batch driver can aggregate without parsing prose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class ViolationKind(enum.Enum):
+    """The legality rule a violation breaks.
+
+    The member value is the stable machine-readable name used in JSON
+    exports and CLI output.
+    """
+
+    #: A register is read that neither a pipeline definition nor the
+    #: loop-entry live-in state ever defines.
+    UNDEFINED_READ = "undefined-read"
+    #: A read observes the loop-entry live-in of a value where a
+    #: definition from an earlier pipeline stage was required - the
+    #: shape of the MVE copy-label bug: the kernel reads a renamed
+    #: register the prologue never wrote.
+    STALE_LIVE_IN = "stale-live-in"
+    #: A read observes a definition, but of the wrong value or the
+    #: wrong iteration instance - the shape of a register-renaming
+    #: collision (two values sharing one architectural name).
+    WRONG_PRODUCER = "wrong-producer"
+    #: The instruction's source registers do not line up one-to-one
+    #: with its dependence-graph operands (wrong operand count, a
+    #: missing destination, an unknown invariant...).
+    OPERAND_MISMATCH = "operand-mismatch"
+    #: Two instructions of one bundle write the same register in the
+    #: same cycle.
+    WRITE_WRITE = "write-write-collision"
+    #: A consumer issues before its producer's latency has elapsed
+    #: (checked on concrete cycles, across the kernel back-edge too).
+    LATENCY = "latency-violation"
+    #: A cycle needs more instances of some resource class than the
+    #: machine configuration provides.
+    RESOURCE = "resource-overflow"
+    #: A non-move instruction reads (or any instruction writes) a
+    #: register outside its own cluster's register file.
+    CROSS_CLUSTER = "cross-cluster-read"
+    #: The fill/drain invariant is broken: a stage-``s`` operation must
+    #: appear ``SC-1-s`` times in the prologue, once per kernel copy,
+    #: and ``s`` times in the epilogue.
+    REPLICATION = "stage-replication"
+    #: The pipeline's shape itself is malformed (section lengths, a
+    #: move without a source cluster, a non-converging dataflow...).
+    STRUCTURE = "structure"
+
+
+@dataclasses.dataclass(frozen=True)
+class CertifierViolation:
+    """One statically-proven defect in emitted VLIW code.
+
+    Attributes:
+        kind: the broken legality rule.
+        section: pipeline section (``prologue``/``kernel``/``epilogue``,
+            or ``code`` for whole-pipeline properties).
+        bundle: bundle index within the section (-1 for whole-pipeline
+            properties).
+        register: the register name involved, if any.
+        operation: the dependence-graph node id involved, if any.
+        detail: human-readable specifics.
+    """
+
+    kind: ViolationKind
+    section: str
+    bundle: int
+    register: str | None = None
+    operation: int | None = None
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """Stable JSON-serializable form (exported like obs events)."""
+        return {
+            "kind": self.kind.value,
+            "section": self.section,
+            "bundle": self.bundle,
+            "register": self.register,
+            "operation": self.operation,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        where = (
+            f"{self.section}[{self.bundle}]" if self.bundle >= 0 else self.section
+        )
+        bits = [f"{self.kind.value} @ {where}"]
+        if self.operation is not None:
+            bits.append(f"node {self.operation}")
+        if self.register is not None:
+            bits.append(f"register {self.register}")
+        head = ", ".join(bits)
+        return f"{head}: {self.detail}" if self.detail else head
+
+
+@dataclasses.dataclass(frozen=True)
+class CertifierReport:
+    """The outcome of statically certifying one loop's emitted code.
+
+    Attributes:
+        loop: the loop's name.
+        machine: the target configuration's name.
+        ii / stage_count / mve_factor: pipeline geometry.
+        passes_checked: kernel passes symbolically executed before the
+            register dataflow reached its fixpoint.
+        bundles_checked: concrete bundles walked (epilogue replays after
+            every explored pass included).
+        reads_checked: register reads matched against the dependence
+            graph.
+        violations: every proven defect, in discovery order.
+    """
+
+    loop: str
+    machine: str
+    ii: int
+    stage_count: int
+    mve_factor: int
+    passes_checked: int
+    bundles_checked: int
+    reads_checked: int
+    violations: tuple[CertifierViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def kinds(self) -> set[ViolationKind]:
+        return {violation.kind for violation in self.violations}
+
+    def kind_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for violation in self.violations:
+            key = violation.kind.value
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "loop": self.loop,
+            "machine": self.machine,
+            "ii": self.ii,
+            "stage_count": self.stage_count,
+            "mve_factor": self.mve_factor,
+            "passes_checked": self.passes_checked,
+            "bundles_checked": self.bundles_checked,
+            "reads_checked": self.reads_checked,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def summary(self) -> str:
+        verdict = "CERTIFIED" if self.ok else "REJECTED"
+        head = (
+            f"{self.loop} on {self.machine}: {verdict} "
+            f"(II={self.ii}, SC={self.stage_count}, MVE x{self.mve_factor}; "
+            f"{self.reads_checked} reads over {self.bundles_checked} bundles, "
+            f"{self.passes_checked} kernel passes to fixpoint)"
+        )
+        if self.ok:
+            return head
+        lines = [head]
+        lines.extend("  " + violation.render() for violation in self.violations)
+        return "\n".join(lines)

@@ -9,6 +9,10 @@ Commands:
   cycle-accurate simulator (:mod:`repro.sim`), check it bit-for-bit
   against the scalar reference interpreter, and compare the measured
   useful/stall cycles with the analytic :mod:`repro.memsim` prediction;
+* ``analyze``  - schedule a workbench subset, emit its code and run the
+  *static certifier* (:mod:`repro.analysis`) on every pipeline: the
+  exit status is nonzero if any loop's code is rejected (or cannot be
+  emitted), so the command doubles as a CI gate;
 * ``compare``  - run MIRS-C and the non-iterative baseline [31] over a
   workbench subset on one configuration and print the comparison;
 * ``suite``    - print structural statistics of the synthetic workbench;
@@ -27,6 +31,7 @@ is given.
 Examples::
 
     python -m repro schedule --config "4-(GP2M1-REG16)" --loop 31 --code
+    python -m repro analyze --config "4-(GP2M1-REG16)" --loops 16
     python -m repro simulate --config "4-(GP2M1-REG16)" --loop 12 --iterations 100
     python -m repro compare --config "2-(GP4M2-REG32)" --loops 12 --jobs 4
     python -m repro technology
@@ -220,6 +225,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.match and useful_ok else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import certify_code
+    from repro.errors import CodegenError
+
+    machine = parse_config(
+        args.config, move_latency=args.move_latency, buses=args.buses
+    )
+    loops = cached_suite(args.loops)
+    session = SessionConfig(jobs=args.jobs, cache=not args.no_cache)
+    request = _request_from(args)
+    run = schedule_suite(machine, loops, request, session=session)
+
+    rows = []
+    rejected: list[str] = []
+    for loop, result in zip(loops, run.results, strict=True):
+        name = loop.graph.name
+        if not result.converged:
+            rows.append([name, len(loop.graph), "n/a", "-", "-", "-", "-",
+                         "not converged"])
+            rejected.append(f"{name}: schedule did not converge")
+            continue
+        try:
+            code = generate_code(result)
+        except CodegenError as error:
+            rows.append([name, len(loop.graph), result.ii, "-", "-", "-",
+                         "-", error.kind])
+            rejected.append(f"{name}: cannot emit code ({error.kind})")
+            continue
+        report = certify_code(code, result)
+        verdict = "ok" if report.ok else f"{len(report.violations)} violations"
+        rows.append([
+            name,
+            len(loop.graph),
+            report.ii,
+            report.stage_count,
+            report.mve_factor,
+            report.bundles_checked,
+            report.reads_checked,
+            verdict,
+        ])
+        if not report.ok:
+            rejected.append(report.summary())
+    print(
+        render_table(
+            f"Static certification on {machine.name} ({len(loops)} loops)",
+            ["loop", "ops", "II", "SC", "MVE", "bundles", "reads", "verdict"],
+            rows,
+            f"{len(loops) - len(rejected)}/{len(loops)} pipelines certified",
+        )
+    )
+    for entry in rejected:
+        print()
+        print(entry)
+    _finish_trace(args, request)
+    return 1 if rejected else 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     machine = parse_config(
         args.config, move_latency=args.move_latency, buses=args.buses
@@ -230,7 +292,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     ours_run = schedule_suite(machine, loops, request, session=session)
     base_run = schedule_suite(machine, loops, "baseline", session=session)
     rows = []
-    for loop, ours, base in zip(loops, ours_run.results, base_run.results):
+    for loop, ours, base in zip(loops, ours_run.results, base_run.results, strict=True):
         rows.append(
             [
                 loop.graph.name,
@@ -378,6 +440,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="loop iterations to execute (rounded up to whole kernel passes)",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically certify the generated code of a workbench subset",
+    )
+    common(analyze)
+    analyze.add_argument(
+        "--loops",
+        type=workbench_count,
+        default=16,
+        help="number of workbench loops to certify (default: 16)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all CPUs)",
+    )
+    analyze.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk schedule-result cache",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     compare = sub.add_parser("compare", help="MIRS-C vs the baseline [31]")
     common(compare)

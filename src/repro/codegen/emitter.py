@@ -26,13 +26,22 @@ reference interpretation of the dependence graph.
 from __future__ import annotations
 
 import dataclasses
+import os
 
 from repro.core.result import ScheduleResult
 from repro.codegen.mve import modulo_variable_expansion_factor
+from repro.errors import CertificationError, CodegenError
 from repro.graph.ddg import DepKind
 from repro.schedule.lifetimes import LifetimeAnalysis
 from repro.schedule.partial import PartialSchedule
 from repro.schedule.regalloc import allocate_registers
+
+#: Environment knob: any non-empty value turns every
+#: :func:`generate_code` call into a self-certifying one (the static
+#: certifier of :mod:`repro.analysis` runs on the emitted code and a
+#: rejection raises :class:`~repro.errors.CertificationError`) — the
+#: sanitizer mode the CI matrix runs the whole suite under.
+CERTIFY_ENV = "REPRO_STATIC_CERTIFY"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,6 +136,7 @@ def _register_names(
     live-in setup the paper's register model does not charge for).
     """
     graph = result.graph
+    assert graph is not None  # generate_code rejects graph-less results
     machine = result.machine
     schedule = PartialSchedule(machine, result.ii)
     for node in sorted(graph.nodes(), key=lambda n: n.id):
@@ -187,8 +197,9 @@ def _instruction(
     mve: int,
 ) -> Instruction:
     graph = result.graph
+    assert graph is not None  # generate_code rejects graph-less results
     node = graph.node(node_id)
-    sources = []
+    sources: list[str] = []
     for edge in graph.in_edges(node_id):
         if edge.kind is not DepKind.REG:
             continue
@@ -198,9 +209,9 @@ def _instruction(
         sources.append(registers[edge.src][source_copy])
     for invariant in graph.invariants_of(node_id):
         sources.append(f"inv:{invariant.name}")
-    dest = registers.get(node_id, [None] * mve)[copy] if (
-        node.produces_value and node_id in registers
-    ) else None
+    dest: str | None = None
+    if node.produces_value and node_id in registers:
+        dest = registers[node_id][copy]
     return Instruction(
         node=node_id,
         mnemonic=node.kind.value,
@@ -224,15 +235,22 @@ def generate_code(result: ScheduleResult) -> GeneratedCode:
     by the number of live-in values even when the check passes.
 
     Raises:
-        ValueError: when the schedule did not converge, or when its
-            register allocation does not fit the machine's register
-            files (emitting code for an infeasible schedule would
-            silently produce wrong register names).
+        CodegenError: (a :class:`ValueError` subclass) when the schedule
+            did not converge (``kind="not-converged"``) or its register
+            allocation does not fit the machine's register files
+            (``kind="register-infeasible"`` — emitting code for such a
+            schedule would silently produce wrong register names).  The
+            error carries the loop name, so batch drivers can report
+            which loop failed without parsing the message.
+        CertificationError: under ``REPRO_STATIC_CERTIFY=1``, when the
+            emitted code fails static certification.
     """
     if not result.converged or result.graph is None:
-        raise ValueError(
+        raise CodegenError(
             f"code generation needs a converged schedule; "
-            f"loop {result.loop!r} did not converge"
+            f"loop {result.loop!r} did not converge",
+            loop=result.loop,
+            kind="not-converged",
         )
     ii = result.ii
     mve = modulo_variable_expansion_factor(result)
@@ -248,10 +266,12 @@ def generate_code(result: ScheduleResult) -> GeneratedCode:
             detail = ", ".join(
                 f"cluster {c} needs {used}" for c, used in over.items()
             )
-            raise ValueError(
+            raise CodegenError(
                 f"schedule for loop {result.loop!r} is register-infeasible "
                 f"on {result.machine.name} ({detail}, {available} available); "
-                "refusing to emit code with clobbered registers"
+                "refusing to emit code with clobbered registers",
+                loop=result.loop,
+                kind="register-infeasible",
             )
 
     low = min(result.times.values(), default=0)
@@ -313,7 +333,7 @@ def generate_code(result: ScheduleResult) -> GeneratedCode:
         ]
         epilogue.append(bundle(row, stages))
 
-    return GeneratedCode(
+    code = GeneratedCode(
         loop=result.loop,
         ii=ii,
         stage_count=stage_count,
@@ -323,3 +343,13 @@ def generate_code(result: ScheduleResult) -> GeneratedCode:
         epilogue=epilogue,
         registers=registers,
     )
+    if os.environ.get(CERTIFY_ENV):
+        # Imported here: repro.analysis certifies *this* module's output.
+        from repro.analysis import certify_code
+
+        report = certify_code(code, result)
+        if not report.ok:
+            raise CertificationError(
+                report.summary(), loop=result.loop, report=report
+            )
+    return code

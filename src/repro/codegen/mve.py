@@ -16,14 +16,25 @@ copy index.
 from __future__ import annotations
 
 from repro.core.result import ScheduleResult
+from repro.errors import CodegenError
 from repro.graph.ddg import DepKind
 from repro.graph.latency import node_latency
 
 
 def value_lifetimes(result: ScheduleResult) -> dict[int, int]:
-    """Lifetime length (cycles) of every value in a converged schedule."""
+    """Lifetime length (cycles) of every value in a converged schedule.
+
+    Raises:
+        CodegenError: (kind ``"not-converged"``) when the schedule has
+            no placement to measure lifetimes on.
+    """
     if not result.converged or result.graph is None:
-        raise ValueError("code generation needs a converged schedule")
+        raise CodegenError(
+            f"code generation needs a converged schedule; "
+            f"loop {result.loop!r} did not converge",
+            loop=result.loop,
+            kind="not-converged",
+        )
     graph = result.graph
     ii = result.ii
     lengths: dict[int, int] = {}

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.graph.ddg import DepKind, DependenceGraph
 from repro.graph.latency import edge_latency
 from repro.machine.config import MachineConfig
+from repro.machine.resources import ResourceClass
 from repro.schedule.mrt import ModuloReservationTable
 from repro.errors import SchedulingError
 
@@ -114,7 +115,7 @@ def verify_schedule(
     # assignment while building it (surfaced by the paper-scale suite:
     # div-heavy loops at 1258-loop scale).
     mrt = ModuloReservationTable(machine, ii)
-    demands: dict[tuple, list[tuple[int, int]]] = {}
+    demands: dict[tuple[ResourceClass, int], list[tuple[int, int]]] = {}
     for node in sorted(graph.nodes(), key=lambda n: n.id):
         if node.id not in times or node.id not in clusters:
             continue
@@ -148,7 +149,7 @@ def verify_schedule(
         where = "interconnect" if target == -1 else f"cluster {target}"
         # Per-row capacity: a necessary condition with a precise
         # culprit list when it fails.
-        over_rows = []
+        over_rows: list[tuple[int, list[int]]] = []
         for row in range(ii):
             bit = 1 << row
             users = [nid for nid, mask in items if mask & bit]

@@ -64,3 +64,41 @@ class SimulationError(ReproError):
     """The execution simulator hit malformed code (an instruction read a
     register no instruction ever defines, a bundle fell outside the
     pipeline structure...): emitted code and schedule disagree."""
+
+
+class CodegenError(ReproError, ValueError):
+    """Code cannot be emitted for a schedule.
+
+    Also a :class:`ValueError` for backward compatibility with callers
+    that guarded :func:`repro.codegen.generate_code` before this class
+    existed.
+
+    Attributes:
+        loop: name of the loop whose schedule was rejected.
+        kind: machine-readable failure kind — ``"not-converged"`` (no
+            schedule to emit) or ``"register-infeasible"`` (the
+            allocation does not fit the machine's register files).
+    """
+
+    def __init__(self, message: str, *, loop: str, kind: str):
+        super().__init__(message)
+        self.loop = loop
+        self.kind = kind
+
+
+class CertificationError(ReproError):
+    """Emitted code failed static certification.
+
+    Raised by the ``REPRO_STATIC_CERTIFY=1`` sanitizer hook in
+    :func:`repro.codegen.generate_code`; the full
+    :class:`repro.analysis.CertifierReport` rides along.
+
+    Attributes:
+        loop: name of the certified loop.
+        report: the rejecting :class:`~repro.analysis.CertifierReport`.
+    """
+
+    def __init__(self, message: str, *, loop: str, report: object = None):
+        super().__init__(message)
+        self.loop = loop
+        self.report = report

@@ -41,7 +41,7 @@ def format_kernel(result: ScheduleResult) -> str:
         f"(MII={result.mii}), {result.stage_count} stages, "
         f"regs/cluster={result.register_usage}",
         "cycle | " + " | ".join(
-            h.ljust(w) for h, w in zip(header, widths)
+            h.ljust(w) for h, w in zip(header, widths, strict=True)
         ),
         "------+-" + "-+-".join("-" * w for w in widths),
     ]

@@ -35,10 +35,10 @@ def render_table(
     ]
     sep = "-+-".join("-" * w for w in widths)
     lines = [title, "=" * len(title)]
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append(sep)
     for row in cells:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True)))
     if note:
         lines.append("")
         lines.append(note)

@@ -184,7 +184,7 @@ def circuit_bound(
     """
     total_latency = 0
     total_distance = 0
-    for src, dst in zip(circuit, list(circuit[1:]) + [circuit[0]]):
+    for src, dst in zip(circuit, list(circuit[1:]) + [circuit[0]], strict=True):
         candidates = [e for e in graph.out_edges(src) if e.dst == dst]
         if not candidates:
             raise ValueError(f"no edge {src} -> {dst} in circuit")

@@ -203,7 +203,7 @@ class VliwSimulator:
                 clock = ready
 
             writes: list[tuple[str, int, int]] = []
-            for inst, operands in zip(bundle, operand_values):
+            for inst, operands in zip(bundle, operand_values, strict=True):
                 node = self._nodes[inst.node]
                 iteration = block - inst.stage
                 ready_at = 0  # 0 = data ready at issue

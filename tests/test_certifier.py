@@ -1,0 +1,483 @@
+"""Tests for the static code certifier (repro.analysis).
+
+Two acceptance criteria anchor this file:
+
+* **Soundness on legal code** — every pipeline the scheduler emits for
+  the 16-loop workbench, on both reference machines, must certify with
+  zero violations;
+* **Completeness on seeded bugs** — re-introducing each historical
+  emitter bug (the MVE copy-label shift, a register-renaming collision,
+  a cross-cluster move collapse) and classic bundle-level illegalities
+  (resource overfill, write-write collision, replication breakage) must
+  be *rejected statically*, each with the expected violation kind,
+  without ever running the simulator.
+"""
+
+import dataclasses
+import re
+
+import pytest
+
+from repro import MirsC, certify_code, certify_schedule
+from repro.analysis import BundleCFG, CertifierReport, ViolationKind
+from repro.analysis.cfg import register_cluster, split_sources
+from repro.codegen import generate_code
+from repro.codegen.emitter import CERTIFY_ENV, GeneratedCode
+from repro.errors import CertificationError, CodegenError
+from repro.obs import RecordingTracer
+from repro.workloads.perfect import cached_suite
+
+from tests.helpers import FOUR_CLUSTER_TIGHT, UNIFIED, daxpy, reduction
+
+
+# ----------------------------------------------------------------------
+# Sabotage helpers: each returns a mutated *copy* of the emitted code,
+# reproducing one historical (or representative) emitter bug.
+# ----------------------------------------------------------------------
+
+
+def _map_names(code: GeneratedCode, rename, sections=("prologue", "kernel",
+                                                      "epilogue")):
+    """Rebuild ``code`` with every register name passed through ``rename``."""
+
+    def patch(bundles):
+        return [
+            [
+                dataclasses.replace(
+                    inst,
+                    dest=rename(inst.dest) if inst.dest else None,
+                    sources=tuple(sorted(rename(s) for s in inst.sources)),
+                )
+                for inst in bundle
+            ]
+            for bundle in bundles
+        ]
+
+    fields = {
+        section: patch(getattr(code, section))
+        if section in sections
+        else [list(b) for b in getattr(code, section)]
+        for section in ("prologue", "kernel", "epilogue")
+    }
+    return dataclasses.replace(code, **fields)
+
+
+def drop_copy_label_shift(code: GeneratedCode) -> GeneratedCode:
+    """PR-2 bug #1: kernel copy labels without the SC-1 shift.
+
+    Relabeling copy ``k`` to ``(k - (SC-1)) % MVE`` in the kernel and
+    epilogue is exactly what emitting ``(copy - stage) % mve`` instead
+    of ``(copy - stage + SC-1) % mve`` produces: the kernel reads
+    renamed registers the prologue never wrote.
+    """
+    sc, mve = code.stage_count, code.mve_factor
+
+    def rename(name: str) -> str:
+        return re.sub(
+            r"\.k(\d+)",
+            lambda m: f".k{(int(m.group(1)) - (sc - 1)) % mve}",
+            name,
+        )
+
+    return _map_names(code, rename, sections=("kernel", "epilogue"))
+
+
+def collide_renamed_registers(code: GeneratedCode) -> GeneratedCode:
+    """PR-2 bug #2: two expanded values based on one architectural name.
+
+    Every ``.k`` copy of the second expanded value is rebased onto the
+    first expanded value's base register, so their renamed copies
+    collide name-for-name.
+    """
+    expanded = [
+        value
+        for value, names in sorted(code.registers.items())
+        if len(set(names)) > 1
+    ]
+    assert len(expanded) >= 2, "fixture needs two modulo-expanded values"
+    base_keep = code.registers[expanded[0]][0].partition(".")[0]
+    base_lose = code.registers[expanded[1]][0].partition(".")[0]
+
+    def rename(name: str) -> str:
+        head, dot, tail = name.partition(".")
+        if head == base_lose and dot:
+            return base_keep + dot + tail
+        return name
+
+    mutated = _map_names(code, rename)
+    mutated.registers = {
+        value: [rename(name) for name in names]
+        for value, names in code.registers.items()
+    }
+    return mutated
+
+
+def collapse_move_source(code: GeneratedCode) -> GeneratedCode:
+    """PR-5 bug shape: a move consumer bypasses the emitted move.
+
+    The first instruction reading a move's destination is rewired to
+    read the move's *source* register instead - a cross-cluster read
+    without interconnect.
+    """
+    moves = {
+        inst.dest: inst
+        for bundle in code.kernel
+        for inst in bundle
+        if inst.mnemonic == "move" and inst.dest is not None
+    }
+    assert moves, "fixture needs an inter-cluster move in the kernel"
+
+    def patch(bundles):
+        done = False
+        out = []
+        for bundle in bundles:
+            patched = []
+            for inst in bundle:
+                if not done and inst.mnemonic != "move":
+                    registers, _ = split_sources(inst.sources)
+                    hit = next((r for r in registers if r in moves), None)
+                    if hit is not None:
+                        move = moves[hit]
+                        move_src = split_sources(move.sources)[0][0]
+                        sources = tuple(
+                            sorted(
+                                move_src if s == hit else s
+                                for s in inst.sources
+                            )
+                        )
+                        inst = dataclasses.replace(inst, sources=sources)
+                        done = True
+                patched.append(inst)
+            out.append(patched)
+        assert done, "fixture needs a same-kernel move consumer"
+        return out
+
+    return dataclasses.replace(code, kernel=patch(code.kernel))
+
+
+def overfill_bundle(code: GeneratedCode) -> GeneratedCode:
+    """Pile every kernel compute instruction into one bundle.
+
+    The relocated instructions keep their register names, so dataflow
+    still resolves; only the per-cycle resource usage becomes illegal.
+    """
+    kernel = [list(b) for b in code.kernel]
+    computes = [
+        (index, inst)
+        for index, bundle in enumerate(kernel)
+        for inst in bundle
+        if inst.mnemonic in ("add", "mul", "div", "sqrt")
+    ]
+    assert len(computes) >= 2, "fixture needs compute operations"
+    target = computes[0][0]
+    for index, inst in computes[1:]:
+        kernel[index] = [i for i in kernel[index] if i is not inst]
+        kernel[target] = kernel[target] + [inst]
+    return dataclasses.replace(code, kernel=kernel)
+
+
+SABOTAGES = [
+    pytest.param(
+        drop_copy_label_shift, ViolationKind.STALE_LIVE_IN,
+        id="drop-copy-label-shift",
+    ),
+    pytest.param(
+        collide_renamed_registers, ViolationKind.WRONG_PRODUCER,
+        id="collide-renamed-register",
+    ),
+    pytest.param(
+        collapse_move_source, ViolationKind.CROSS_CLUSTER,
+        id="collapse-move-source",
+    ),
+    pytest.param(
+        overfill_bundle, ViolationKind.RESOURCE,
+        id="overfill-bundle-resources",
+    ),
+]
+
+
+# ----------------------------------------------------------------------
+# Clean code certifies
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=[UNIFIED, FOUR_CLUSTER_TIGHT],
+                ids=lambda m: m.name)
+def workbench_reports(request):
+    machine = request.param
+    loops = cached_suite(16)
+    scheduler = MirsC(machine)
+    reports = []
+    for loop in loops:
+        result = scheduler.schedule(loop.graph.clone())
+        reports.append(certify_code(generate_code(result), result))
+    return reports
+
+
+class TestCleanWorkbench:
+    def test_zero_violations_on_both_machines(self, workbench_reports):
+        for report in workbench_reports:
+            assert report.ok, report.summary()
+
+    def test_reports_carry_work_evidence(self, workbench_reports):
+        for report in workbench_reports:
+            assert report.reads_checked > 0
+            assert report.bundles_checked > 0
+            assert report.passes_checked >= 1
+            assert report.mve_factor >= 1
+
+    def test_fixpoint_converges_fast(self, workbench_reports):
+        """Legal pipelines stabilize within a couple of kernel passes -
+        the cost model the <5%-of-differential gate relies on."""
+        for report in workbench_reports:
+            assert report.passes_checked <= 3, report.summary()
+
+
+class TestConvenienceApi:
+    def test_certify_schedule_emits_and_certifies(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        report = certify_schedule(result)
+        assert report.ok
+        assert report.loop == result.loop
+
+    def test_report_round_trips_to_dict(self):
+        result = MirsC(UNIFIED).schedule(reduction())
+        report = certify_schedule(result)
+        payload = report.as_dict()
+        assert payload["violations"] == []
+        assert payload["loop"] == report.loop
+        assert payload["reads_checked"] == report.reads_checked
+
+    def test_trace_records_certify_span(self):
+        tracer = RecordingTracer()
+        result = MirsC(UNIFIED).schedule(reduction())
+        certify_schedule(result, trace=tracer)
+        spans = [e for e in tracer.events if e.name == "certify"]
+        assert len(spans) == 1
+        assert spans[0].args["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# Sabotaged code is rejected with the right kind
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def deep_schedule():
+    """DAXPY on the unified machine: deep MVE with (SC-1) % MVE != 0,
+    so every copy-label convention actually matters."""
+    result = MirsC(UNIFIED).schedule(daxpy())
+    code = generate_code(result)
+    assert code.mve_factor >= 3
+    assert (code.stage_count - 1) % code.mve_factor != 0
+    return result, code
+
+
+@pytest.fixture(scope="module")
+def clustered_schedule():
+    """A clustered schedule with at least one inter-cluster move."""
+    loops = cached_suite(16)
+    scheduler = MirsC(FOUR_CLUSTER_TIGHT)
+    for loop in loops:
+        result = scheduler.schedule(loop.graph.clone())
+        if not result.converged:
+            continue
+        code = generate_code(result)
+        if any(
+            inst.mnemonic == "move"
+            for bundle in code.kernel
+            for inst in bundle
+        ):
+            return result, code
+    pytest.skip("no workbench loop produced an inter-cluster move")
+
+
+class TestSabotage:
+    @pytest.mark.parametrize("mutate,expected_kind", SABOTAGES)
+    def test_mutation_is_rejected_with_kind(
+        self, mutate, expected_kind, deep_schedule, clustered_schedule
+    ):
+        # Cross-cluster sabotage needs a clustered machine; the others
+        # exercise the deep-MVE unified pipeline.
+        result, code = (
+            clustered_schedule
+            if mutate is collapse_move_source
+            else deep_schedule
+        )
+        clean = certify_code(code, result)
+        assert clean.ok, clean.summary()
+        mutated = mutate(code)
+        report = certify_code(mutated, result)
+        assert not report.ok
+        assert expected_kind in report.kinds(), report.summary()
+
+    def test_write_write_collision_is_detected(self, deep_schedule):
+        result, code = deep_schedule
+        kernel = [list(b) for b in code.kernel]
+        victim = next(
+            (index, inst)
+            for index, bundle in enumerate(kernel)
+            for inst in bundle
+            if inst.dest is not None
+        )
+        index, inst = victim
+        kernel[index] = kernel[index] + [inst]
+        bad = dataclasses.replace(code, kernel=kernel)
+        report = certify_code(bad, result)
+        assert ViolationKind.WRITE_WRITE in report.kinds(), report.summary()
+
+    def test_dropped_instruction_breaks_replication(self, deep_schedule):
+        result, code = deep_schedule
+        kernel = [list(b) for b in code.kernel]
+        removed = None
+        for index, bundle in enumerate(kernel):
+            if bundle:
+                removed = bundle[0]
+                kernel[index] = bundle[1:]
+                break
+        assert removed is not None
+        bad = dataclasses.replace(code, kernel=kernel)
+        report = certify_code(bad, result)
+        assert ViolationKind.REPLICATION in report.kinds(), report.summary()
+        assert any(
+            v.operation == removed.node
+            for v in report.violations
+            if v.kind is ViolationKind.REPLICATION
+        )
+
+    def test_undefined_register_read(self, deep_schedule):
+        result, code = deep_schedule
+
+        def rename(name: str) -> str:
+            return name.replace("r0.", "r999.")
+
+        bad = _map_names(code, rename, sections=("kernel",))
+        report = certify_code(bad, result)
+        assert not report.ok
+        assert report.kinds() & {
+            ViolationKind.UNDEFINED_READ,
+            ViolationKind.STALE_LIVE_IN,
+            ViolationKind.WRONG_PRODUCER,
+        }
+
+    def test_truncated_epilogue_is_structural(self, deep_schedule):
+        result, code = deep_schedule
+        bad = dataclasses.replace(code, epilogue=code.epilogue[:-1])
+        report = certify_code(bad, result)
+        assert report.kinds() == {ViolationKind.STRUCTURE}
+
+    def test_violations_are_deduplicated_across_passes(self, deep_schedule):
+        """A single static defect must not be re-reported once per
+        explored kernel pass / epilogue replay."""
+        result, code = deep_schedule
+        bad = drop_copy_label_shift(code)
+        report = certify_code(bad, result)
+        keys = [
+            (v.kind, v.section, v.bundle, v.register, v.operation)
+            for v in report.violations
+        ]
+        assert len(keys) == len(set(keys))
+
+
+# ----------------------------------------------------------------------
+# The REPRO_STATIC_CERTIFY sanitizer hook
+# ----------------------------------------------------------------------
+
+
+class TestSanitizerHook:
+    def test_clean_code_passes_under_hook(self, monkeypatch):
+        monkeypatch.setenv(CERTIFY_ENV, "1")
+        result = MirsC(UNIFIED).schedule(daxpy())
+        code = generate_code(result)
+        assert code.kernel  # emitted and certified without raising
+
+    def test_violations_raise_certification_error(self, monkeypatch):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        # Force the certifier to reject whatever generate_code emits.
+        from repro.analysis import CertifierViolation
+
+        def reject(code, schedule, **kwargs):
+            real = certify_code(code, schedule)
+            return dataclasses.replace(
+                real,
+                violations=(
+                    CertifierViolation(
+                        kind=ViolationKind.STRUCTURE,
+                        section="code",
+                        bundle=-1,
+                        detail="injected by test",
+                    ),
+                ),
+            )
+
+        monkeypatch.setenv(CERTIFY_ENV, "1")
+        monkeypatch.setattr("repro.analysis.certify_code", reject)
+        with pytest.raises(CertificationError) as excinfo:
+            generate_code(result)
+        assert excinfo.value.loop == result.loop
+        assert isinstance(excinfo.value.report, CertifierReport)
+        assert "injected by test" in str(excinfo.value)
+
+    def test_hook_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(CERTIFY_ENV, raising=False)
+        calls = []
+        monkeypatch.setattr(
+            "repro.analysis.certify_code",
+            lambda *a, **k: calls.append(a),
+        )
+        result = MirsC(UNIFIED).schedule(reduction())
+        generate_code(result)
+        assert calls == []
+
+
+# ----------------------------------------------------------------------
+# Typed codegen errors
+# ----------------------------------------------------------------------
+
+
+class TestCodegenErrors:
+    def test_not_converged_carries_loop_and_kind(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        broken = dataclasses.replace(result, converged=False)
+        with pytest.raises(CodegenError) as excinfo:
+            generate_code(broken)
+        assert excinfo.value.kind == "not-converged"
+        assert excinfo.value.loop == result.loop
+
+    def test_codegen_error_is_a_value_error(self):
+        assert issubclass(CodegenError, ValueError)
+
+    def test_certify_schedule_propagates_codegen_error(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        broken = dataclasses.replace(result, converged=False)
+        with pytest.raises(CodegenError):
+            certify_schedule(broken)
+
+
+# ----------------------------------------------------------------------
+# CFG plumbing
+# ----------------------------------------------------------------------
+
+
+class TestBundleCfg:
+    def test_cycle_and_block_accounting(self):
+        result = MirsC(UNIFIED).schedule(daxpy())
+        code = generate_code(result)
+        cfg = BundleCFG(code)
+        sites = list(cfg.linearized(passes=2))
+        cycles = [site.cycle for site in sites]
+        assert cycles == list(range(len(sites)))  # gap-free linearization
+        assert all(site.block == site.cycle // code.ii for site in sites)
+        kernel_sites = [s for s in sites if s.section == "kernel"]
+        assert len(kernel_sites) == 2 * code.ii * code.mve_factor
+
+    def test_register_cluster_parsing(self):
+        assert register_cluster("c0:r7") == 0
+        assert register_cluster("c3:r12.k2") == 3
+        assert register_cluster("inv:a") is None
+        assert register_cluster("r7") is None
+
+    def test_split_sources(self):
+        registers, invariants = split_sources(("c0:r1", "inv:a", "c1:r2.k0"))
+        assert registers == ["c0:r1", "c1:r2.k0"]
+        assert invariants == ["a"]

@@ -124,22 +124,33 @@ class TestMVE:
 
     def test_rejects_unconverged(self):
         from repro.core.result import ScheduleResult
+        from repro.errors import CodegenError
 
         bogus = ScheduleResult(
             loop="x", machine=UNIFIED, converged=False, ii=1, mii=1
         )
-        with pytest.raises(ValueError):
+        # Still a ValueError (backward compatibility), but typed: batch
+        # drivers read the loop and failure kind off the exception.
+        with pytest.raises(ValueError) as excinfo:
             generate_code(bogus)
+        assert isinstance(excinfo.value, CodegenError)
+        assert excinfo.value.loop == "x"
+        assert excinfo.value.kind == "not-converged"
 
     def test_rejects_register_infeasible(self):
         """A 'converged' schedule whose allocation cannot fit the
         register file must raise instead of emitting clobbered code."""
+        from repro.errors import CodegenError
+
         result = MirsC(UNIFIED).schedule(daxpy())
         starved = dataclasses.replace(
             result, machine=UNIFIED.with_registers(1)
         )
-        with pytest.raises(ValueError, match="register-infeasible"):
+        with pytest.raises(ValueError, match="register-infeasible") as excinfo:
             generate_code(starved)
+        assert isinstance(excinfo.value, CodegenError)
+        assert excinfo.value.loop == result.loop
+        assert excinfo.value.kind == "register-infeasible"
 
 
 class TestDeepExpansion:
