@@ -32,6 +32,15 @@ per scheduler phase (``phase.prepare``/``phase.search``/
 loop's ``search_trace`` - a night-over-night view of *where* the
 engine spends its time and *how* attempts end, not just how fast the
 suite went.
+
+A second nightly leg sweeps the frontend corpus
+(:mod:`repro.frontend.corpus`): every real source kernel is parsed,
+lowered, scheduled on both reference machines, statically certified
+and validated bit-for-bit against direct source execution via the
+three-link differential.  The per-pair verdicts land in
+``benchmarks/results/BENCH_frontend.json``; any pair that is not a
+full end-to-end match (certifier ok, all three links MATCH — no
+skipped link) fails the night.
 """
 
 from __future__ import annotations
@@ -212,3 +221,40 @@ def test_nightly_paper_scale_suite(executor, table_sink):
         ),
     )
     assert failures == [], "; ".join(failures)
+
+
+def test_nightly_frontend_corpus(executor, table_sink):
+    """Full-corpus frontend sweep on both reference machines.
+
+    Unlike the per-push CI smoke (two kernels, one machine), the night
+    runs every corpus kernel through schedule + certify + three-link
+    differential on both reference configurations and requires the
+    *full* match — a skipped link 3 (live-in renaming hazard) counts as
+    a failure here, because the corpus is curated to be hazard-free on
+    these machines.
+    """
+    from repro.eval.experiments import frontend_rows
+
+    started = time.perf_counter()
+    headers, rows, note = frontend_rows(session=executor, configs=MACHINES)
+    wall = time.perf_counter() - started
+    payload = {
+        "wall_seconds": round(wall, 3),
+        "pairs": [dict(zip(headers, row)) for row in rows],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_frontend.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    table_sink(
+        "nightly_frontend",
+        render_table(
+            f"Nightly frontend corpus sweep ({wall:.1f}s)",
+            headers, rows, note,
+        ),
+    )
+    bad = [
+        f"{row[0]}/{row[1]}: certify={row[-2]} differential={row[-1]}"
+        for row in rows
+        if row[-2] != "ok" or row[-1] != "match"
+    ]
+    assert bad == [], "; ".join(bad)

@@ -2,9 +2,9 @@
 
 Commands:
 
-* ``schedule`` - schedule one workbench loop (or a built-in demo kernel)
-  on a named configuration and print the kernel (optionally the full
-  generated code);
+* ``schedule`` - schedule one workbench loop, a real source loop
+  (``--source``) or a built-in demo kernel on a named configuration and
+  print the kernel (optionally the full generated code);
 * ``simulate`` - schedule a loop, *execute* its generated code on the
   cycle-accurate simulator (:mod:`repro.sim`), check it bit-for-bit
   against the scalar reference interpreter, and compare the measured
@@ -15,6 +15,11 @@ Commands:
   emitted), so the command doubles as a CI gate;
 * ``compare``  - run MIRS-C and the non-iterative baseline [31] over a
   workbench subset on one configuration and print the comparison;
+* ``frontend`` - the source-loop frontend (:mod:`repro.frontend`):
+  ``frontend show`` prints the analyzed IR of one kernel (or the whole
+  corpus table), ``frontend run`` schedules, certifies and
+  differentially validates kernels end to end — exit status is nonzero
+  on any failure, so it doubles as a CI gate;
 * ``suite``    - print structural statistics of the synthetic workbench;
 * ``technology`` - print the Figure 2 technology table;
 * ``cache``    - inspect or clear the on-disk schedule-result cache;
@@ -31,6 +36,9 @@ is given.
 Examples::
 
     python -m repro schedule --config "4-(GP2M1-REG16)" --loop 31 --code
+    python -m repro schedule --source mykernels.py --kernel saxpy --code
+    python -m repro frontend show ewma2
+    python -m repro frontend run --config "1-(GP8M4-REG64)" saxpy prefix
     python -m repro analyze --config "4-(GP2M1-REG16)" --loops 16
     python -m repro simulate --config "4-(GP2M1-REG16)" --loop 12 --iterations 100
     python -m repro compare --config "2-(GP4M2-REG32)" --loops 12 --jobs 4
@@ -49,6 +57,7 @@ from repro import (
     parse_config,
 )
 from repro.core.request import ScheduleRequest, SessionConfig
+from repro.errors import FrontendError
 from repro.core.search import POLICIES
 from repro.eval.experiments import figure2_rows
 from repro.eval.pretty import format_kernel
@@ -147,14 +156,42 @@ def _demo_graph():
     return b.build()
 
 
+def _resolve_source(source: str, kernel: str | None):
+    """Lower ``--source`` (a path or a corpus kernel name) to one kernel."""
+    from repro.frontend import lower_source
+    from repro.frontend.corpus import CORPUS_KERNELS, corpus_path
+
+    path = corpus_path(source) if source in CORPUS_KERNELS else source
+    kernels = lower_source(path, kernel=kernel)
+    if len(kernels) > 1:
+        names = ", ".join(k.name for k in kernels)
+        raise FrontendError(
+            f"{source} defines {len(kernels)} kernels ({names}); "
+            "pick one with --kernel"
+        )
+    return kernels[0]
+
+
+def _loop_graph(args: argparse.Namespace):
+    """Graph selected by ``--source`` / ``--loop`` (demo DAXPY otherwise)."""
+    if args.source is not None:
+        if args.loop is not None:
+            raise FrontendError("--source and --loop are mutually exclusive")
+        return _resolve_source(args.source, args.kernel).graph
+    if args.loop is None:
+        return _demo_graph()
+    return build_loop(args.loop).graph
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     machine = parse_config(
         args.config, move_latency=args.move_latency, buses=args.buses
     )
-    if args.loop is None:
-        graph = _demo_graph()
-    else:
-        graph = build_loop(args.loop).graph
+    try:
+        graph = _loop_graph(args)
+    except FrontendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     request = _request_from(args)
     result = request.make_scheduler(machine).schedule(graph)
     print(format_kernel(result))
@@ -171,10 +208,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     machine = parse_config(
         args.config, move_latency=args.move_latency, buses=args.buses
     )
-    if args.loop is None:
-        graph = _demo_graph()
-    else:
-        graph = build_loop(args.loop).graph
+    try:
+        graph = _loop_graph(args)
+    except FrontendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     request = _request_from(args)
     result = request.make_scheduler(machine).schedule(graph)
     # None: the environment decides (REPRO_CACHE_DIR opts in, as for
@@ -364,6 +402,171 @@ def _cmd_technology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontend_show(args: argparse.Namespace) -> int:
+    from repro.frontend import available_parsers
+    from repro.frontend.corpus import CORPUS_KERNELS, load_kernel
+    from repro.graph.mii import compute_mii, resource_mii
+    from repro.graph.recurrences import recurrence_mii
+
+    machine = parse_config(args.config)
+    if args.source is None:
+        parsers = ", ".join(
+            f"{name} ({'available' if ok else 'unavailable'})"
+            for name, ok in sorted(available_parsers().items())
+        )
+        rows = []
+        for name in CORPUS_KERNELS:
+            lowered = load_kernel(name)
+            graph = lowered.graph
+            rows.append(
+                [
+                    name,
+                    len(graph),
+                    len(lowered.arrays),
+                    len(lowered.scalars),
+                    len(lowered.invariants),
+                    len(lowered.mem_deps),
+                    resource_mii(graph, machine),
+                    recurrence_mii(graph, machine),
+                    compute_mii(graph, machine),
+                ]
+            )
+        print(
+            render_table(
+                f"Frontend corpus on {machine.name}",
+                ["kernel", "ops", "arrays", "scalars", "invs", "mem deps",
+                 "ResMII", "RecMII", "MII"],
+                rows,
+                f"parsers: {parsers}",
+            )
+        )
+        return 0
+
+    try:
+        lowered = _resolve_source(args.source, args.kernel)
+    except FrontendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    kernel = lowered.kernel
+    loop = kernel.loop
+    graph = lowered.graph
+    stop = loop.symbolic_bound or loop.start + loop.step * loop.trip_count
+    print(f"kernel {lowered.name} ({kernel.source})")
+    print(
+        f"loop:  for {loop.var} in range({loop.start}, {stop}"
+        + (f", {loop.step}" if loop.step != 1 else "")
+        + f")  [trip count {graph.trip_count}]"
+    )
+    roles = lowered.roles
+    print(f"names: induction {roles.induction!r}")
+    for label, names in (
+        ("arrays", roles.arrays),
+        ("scalars", roles.loop_scalars),
+        ("invariants", roles.invariants),
+    ):
+        if names:
+            print(f"       {label}: {', '.join(names)}")
+    for name, binding in sorted(lowered.scalars.items()):
+        if binding.node_id is None:
+            print(f"state: {name} stays live-in (invariant)")
+        else:
+            print(
+                f"state: {name} <- node {binding.node_id} "
+                f"({binding.shift} iteration(s) back)"
+            )
+    for dep in lowered.mem_deps:
+        print(f"mem:   {dep.describe()}")
+    res = resource_mii(graph, machine)
+    rec = recurrence_mii(graph, machine)
+    print(
+        f"graph: {len(graph)} ops, {len(lowered.invariants)} invariant(s); "
+        f"MII on {machine.name}: max(ResMII {res}, RecMII {rec}) = "
+        f"{compute_mii(graph, machine)}"
+    )
+    return 0
+
+
+def _cmd_frontend_run(args: argparse.Namespace) -> int:
+    from repro.analysis import certify_code
+    from repro.errors import CodegenError
+    from repro.frontend.corpus import CORPUS_KERNELS
+    from repro.frontend.differential import run_source_differential
+
+    machine = parse_config(
+        args.config, move_latency=args.move_latency, buses=args.buses
+    )
+    names = list(args.kernels) or list(CORPUS_KERNELS)
+    try:
+        lowered = [_resolve_source(name, None) for name in names]
+    except FrontendError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = SessionConfig(jobs=args.jobs, cache=not args.no_cache)
+    request = _request_from(args)
+    run = schedule_suite(machine, lowered, request, session=session)
+    executor = session.make_executor()
+    cache = executor.cache if executor.cache is not None else False
+
+    rows = []
+    failures: list[str] = []
+    ok_count = 0
+    for kernel, result in zip(lowered, run.results, strict=True):
+        if not result.converged:
+            rows.append([kernel.name, len(kernel.graph), "-", "-", "-", "-"])
+            failures.append(f"{kernel.name}: schedule did not converge")
+            continue
+        try:
+            code = generate_code(result)
+        except CodegenError as error:
+            rows.append(
+                [kernel.name, len(kernel.graph), result.mii, result.ii,
+                 error.kind, "-"]
+            )
+            failures.append(f"{kernel.name}: cannot emit code ({error.kind})")
+            continue
+        cert = certify_code(code, result)
+        diff = run_source_differential(
+            kernel, result, args.iterations, cache=cache
+        )
+        if diff.match:
+            verdict = "match" if diff.source_match is not None else (
+                "match (link 3 skipped)"
+            )
+        else:
+            verdict = "MISMATCH"
+        rows.append(
+            [
+                kernel.name,
+                len(kernel.graph),
+                result.mii,
+                result.ii,
+                "ok" if cert.ok else f"{len(cert.violations)} violations",
+                verdict,
+            ]
+        )
+        if not cert.ok:
+            failures.append(cert.summary())
+        if not diff.match:
+            failures.append(diff.summary())
+        if cert.ok and diff.match:
+            ok_count += 1
+    print(
+        render_table(
+            f"Frontend differential on {machine.name} "
+            f"({args.iterations} iterations)",
+            ["kernel", "ops", "MII", "II", "certify", "differential"],
+            rows,
+            f"{ok_count}/{len(names)} kernels validated end to end "
+            "(source = graph = emitted code)",
+        )
+    )
+    for entry in failures:
+        print()
+        print(entry)
+    _finish_trace(args, request)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -409,6 +612,22 @@ def build_parser() -> argparse.ArgumentParser:
             "inspect it with 'repro trace summary PATH'",
         )
 
+    def source_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--source",
+            default=None,
+            metavar="PATH",
+            help="schedule a real source loop instead: a file for a "
+            "registered frontend parser, or a corpus kernel name "
+            "(see 'repro frontend show')",
+        )
+        p.add_argument(
+            "--kernel",
+            default=None,
+            metavar="NAME",
+            help="kernel (function) to pick when --source defines several",
+        )
+
     schedule = sub.add_parser("schedule", help="schedule one loop")
     common(schedule)
     schedule.add_argument(
@@ -417,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="workbench loop index (omit for the built-in DAXPY demo)",
     )
+    source_options(schedule)
     schedule.add_argument(
         "--code", action="store_true", help="also emit the VLIW code"
     )
@@ -433,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="workbench loop index (omit for the built-in DAXPY demo)",
     )
+    source_options(simulate)
     simulate.add_argument(
         "--iterations",
         type=positive_int,
@@ -480,6 +701,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not read or write the on-disk schedule-result cache",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    frontend = sub.add_parser(
+        "frontend", help="parse, inspect and validate real source loops"
+    )
+    frontend_sub = frontend.add_subparsers(
+        dest="frontend_command", required=True
+    )
+    frontend_show = frontend_sub.add_parser(
+        "show",
+        help="print the analyzed IR of one kernel (or the corpus table)",
+    )
+    frontend_show.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="source file or corpus kernel name (omit to list the corpus "
+        "and the registered parsers)",
+    )
+    frontend_show.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="kernel (function) to pick when the source defines several",
+    )
+    frontend_show.add_argument(
+        "--config",
+        default="2-(GP4M2-REG32)",
+        help="machine configuration for the MII breakdown",
+    )
+    frontend_show.set_defaults(func=_cmd_frontend_show)
+
+    frontend_run = frontend_sub.add_parser(
+        "run",
+        help="schedule, certify and differentially validate source kernels",
+    )
+    common(frontend_run)
+    frontend_run.add_argument(
+        "kernels",
+        nargs="*",
+        metavar="KERNEL",
+        help="corpus kernel names or source files (default: the whole "
+        "corpus)",
+    )
+    frontend_run.add_argument(
+        "--iterations",
+        type=positive_int,
+        default=40,
+        help="loop iterations for the differential runs (default: 40)",
+    )
+    frontend_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all CPUs)",
+    )
+    frontend_run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk schedule-result cache",
+    )
+    frontend_run.set_defaults(func=_cmd_frontend_run)
 
     suite = sub.add_parser("suite", help="workbench statistics")
     suite.add_argument("--loops", type=int, default=60)

@@ -21,17 +21,15 @@ Two small dataclasses replace the sprawl:
   memoized, so one session threaded through many driver calls keeps a
   single executor whose stats accumulate.
 
-The old keywords keep working everywhere through
-:func:`fold_legacy_request` / :func:`fold_legacy_session`, which emit a
-:class:`DeprecationWarning` and merge the legacy values into the new
-objects (raising :class:`~repro.errors.ConfigError` only on a genuine
-conflict between the two spellings).
+The old keywords are gone: :func:`fold_legacy_request` /
+:func:`fold_legacy_session` now raise :class:`~repro.errors.ConfigError`
+with a migration hint whenever one is passed.  (They warned with a
+:class:`DeprecationWarning` for two releases first.)
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 
 from repro.core.params import MirsParams
 from repro.errors import ConfigError
@@ -186,36 +184,17 @@ class SessionConfig:
 
 
 # ----------------------------------------------------------------------
-# Legacy-keyword shims
+# Removed legacy keywords
 # ----------------------------------------------------------------------
 
 
-def _warn_legacy(api: str, names) -> None:
-    warnings.warn(
-        f"{api}: keyword(s) {', '.join(sorted(names))} are deprecated; "
-        "pass a ScheduleRequest (scheduler/params/search/speculation) "
-        "and/or a SessionConfig (jobs/cache/progress/executor) instead",
-        DeprecationWarning,
-        stacklevel=3,
+def _reject_legacy(api: str, names, replacement: str) -> None:
+    raise ConfigError(
+        f"{api}: keyword(s) {', '.join(sorted(names))} were removed "
+        f"after a deprecation period; pass {replacement} instead "
+        f"(e.g. {api}(..., request=ScheduleRequest(search='linear'), "
+        "session=SessionConfig(jobs=4)))"
     )
-
-
-def _merge(api: str, obj, legacy: dict, defaults: dict):
-    """Merge legacy keyword values into a request/session dataclass.
-
-    Legacy values fill fields still at their default; a field set both
-    on the object and via a (different) legacy keyword is a conflict.
-    """
-    updates = {}
-    for field, value in legacy.items():
-        current = getattr(obj, field)
-        if current != defaults[field] and current != value:
-            raise ConfigError(
-                f"{api}: {field} given both in the new-style object "
-                "and as a deprecated keyword"
-            )
-        updates[field] = value
-    return dataclasses.replace(obj, **updates)
 
 
 def fold_legacy_request(
@@ -227,7 +206,7 @@ def fold_legacy_request(
     search=_UNSET,
     speculation=_UNSET,
 ) -> ScheduleRequest:
-    """Resolve a ``request`` argument plus deprecated scheduling kwargs."""
+    """Resolve a ``request`` argument; removed legacy kwargs raise."""
     legacy = {
         name: value
         for name, value in (
@@ -238,15 +217,12 @@ def fold_legacy_request(
         )
         if value is not _UNSET
     }
-    req = ScheduleRequest.coerce(request)
-    if not legacy:
-        return req
-    _warn_legacy(api, legacy)
-    defaults = {
-        "scheduler": "mirsc", "params": None, "search": None,
-        "speculation": None,
-    }
-    return _merge(api, req, legacy, defaults)
+    if legacy:
+        _reject_legacy(
+            api, legacy,
+            "a ScheduleRequest (scheduler/params/search/speculation)",
+        )
+    return ScheduleRequest.coerce(request)
 
 
 def fold_legacy_session(
@@ -258,7 +234,7 @@ def fold_legacy_session(
     progress=_UNSET,
     executor=_UNSET,
 ) -> SessionConfig:
-    """Resolve a ``session`` argument plus deprecated execution kwargs."""
+    """Resolve a ``session`` argument; removed legacy kwargs raise."""
     legacy = {
         name: value
         for name, value in (
@@ -269,9 +245,9 @@ def fold_legacy_session(
         )
         if value is not _UNSET
     }
-    cfg = SessionConfig.coerce(session)
-    if not legacy:
-        return cfg
-    _warn_legacy(api, legacy)
-    defaults = {"jobs": None, "cache": None, "progress": None, "executor": None}
-    return _merge(api, cfg, legacy, defaults)
+    if legacy:
+        _reject_legacy(
+            api, legacy,
+            "a SessionConfig (jobs/cache/progress/executor)",
+        )
+    return SessionConfig.coerce(session)

@@ -65,9 +65,9 @@ class SchedulerStats:
         """The historical dict shape of :attr:`search`.
 
         Kept for backwards compatibility: equality/iteration/JSON
-        behave as before, keyed access emits a
-        :class:`DeprecationWarning` (read the typed :attr:`search`
-        instead).
+        behave as before, keyed access raises a
+        :class:`~repro.errors.ConfigError` (read the typed
+        :attr:`search` instead).
         """
         return LegacySearchStats(
             {} if self.search is None else self.search.as_dict()

@@ -20,6 +20,16 @@ class GraphError(ReproError):
     """A dependence graph operation was invalid (unknown node, bad edge...)."""
 
 
+class FrontendError(ReproError):
+    """A source loop could not be parsed, analyzed or lowered.
+
+    Raised by :mod:`repro.frontend` with a message naming the offending
+    construct (and, where available, the kernel and source location), so
+    corpus curation and CLI users see *why* a loop is outside the
+    supported fragment rather than a downstream type error.
+    """
+
+
 class SchedulingError(ReproError):
     """The scheduler reached an internally inconsistent state."""
 

@@ -143,12 +143,12 @@ def schedule_suite(
 
     The remaining keywords (``scheduler``, ``params``, ``jobs``,
     ``cache``, ``executor``, ``search``, ``speculation``) are the
-    pre-request spellings; they still work but raise a
-    :class:`DeprecationWarning` and fold into ``request``/``session``.
+    removed pre-request spellings; passing any of them raises a
+    :class:`~repro.errors.ConfigError` with a migration hint.
     """
     if isinstance(graphs, MirsParams):
-        # Historical 4th positional was params; fold it in with the same
-        # deprecation story as the keyword spelling.
+        # Historical 4th positional was params; rejected with the same
+        # migration hint as the keyword spelling.
         params = graphs
         graphs = None
     request = fold_legacy_request(

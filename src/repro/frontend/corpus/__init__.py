@@ -1,0 +1,66 @@
+"""The curated kernel corpus of real loop bodies.
+
+Each module in this directory is an ordinary, runnable, annotated
+Python file whose kernel function the frontend parses *as source text*
+(the loader never imports them).  The names below are the canonical
+corpus sweep order used by the tests, the CI smoke leg,
+``repro frontend run`` and the nightly benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import FrontendError
+from repro.frontend.lower import LoweredKernel, lower_kernel
+from repro.frontend.parser import DEFAULT_TRIP_COUNT, parse_source
+
+#: Canonical corpus order: one kernel per module of this package.
+CORPUS_KERNELS = (
+    "saxpy",
+    "dot",
+    "fir4",
+    "iir2",
+    "stencil3",
+    "stencil5",
+    "prefix",
+    "matvec_row4",
+    "cmul",
+    "softclip",
+    "ewma2",
+    "rms",
+)
+
+
+def corpus_dir() -> Path:
+    """Directory holding the corpus sources."""
+    return Path(__file__).parent
+
+
+def corpus_path(name: str) -> Path:
+    """Source path of one corpus kernel."""
+    if name not in CORPUS_KERNELS:
+        raise FrontendError(
+            f"no corpus kernel {name!r} (have: {list(CORPUS_KERNELS)})"
+        )
+    return corpus_dir() / f"{name}.py"
+
+
+def load_kernel(
+    name: str, *, default_trip_count: int = DEFAULT_TRIP_COUNT
+) -> LoweredKernel:
+    """Parse, analyze and lower one corpus kernel."""
+    kernels = parse_source(
+        corpus_path(name), kernel=name, default_trip_count=default_trip_count
+    )
+    return lower_kernel(kernels[0])
+
+
+def load_corpus(
+    *, default_trip_count: int = DEFAULT_TRIP_COUNT
+) -> list[LoweredKernel]:
+    """Every corpus kernel, lowered, in canonical order."""
+    return [
+        load_kernel(name, default_trip_count=default_trip_count)
+        for name in CORPUS_KERNELS
+    ]

@@ -1,0 +1,16 @@
+"""cmul: elementwise complex multiply — two statements sharing four
+loads (exercises common-subexpression merging across statements)."""
+
+
+def cmul(
+    ar: list[float],
+    ai: list[float],
+    br: list[float],
+    bi: list[float],
+    cr: list[float],
+    ci: list[float],
+    n: int,
+) -> None:
+    for i in range(n):
+        cr[i] = ar[i] * br[i] - ai[i] * bi[i]
+        ci[i] = ar[i] * bi[i] + ai[i] * br[i]

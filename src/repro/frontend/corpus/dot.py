@@ -1,0 +1,7 @@
+"""dot: inner product with a loop-carried scalar reduction."""
+
+
+def dot(x: list[float], y: list[float], s: float, n: int) -> float:
+    for i in range(n):
+        s = s + x[i] * y[i]
+    return s

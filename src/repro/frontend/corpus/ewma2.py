@@ -1,0 +1,24 @@
+"""ewma2: exponential moving average over the state of two iterations
+ago.
+
+The only recurrence is the distance-**2** arc the copy chain
+``s2 = s1; s1 = t`` induces, so RecMII is ceil(cycle latency / 2) —
+half of what a defaulted distance-1 arc would give.  The test suite
+asserts exactly that (the "distances are analyzed, not defaulted"
+acceptance criterion).
+"""
+
+
+def ewma2(
+    x: list[float],
+    out: list[float],
+    b: float,
+    s1: float,
+    s2: float,
+    n: int,
+) -> None:
+    for i in range(n):
+        t = s2 * b + x[i]
+        out[i] = t
+        s2 = s1
+        s1 = t

@@ -1,0 +1,14 @@
+"""fir4: a 4-tap finite impulse response filter."""
+
+
+def fir4(
+    x: list[float],
+    y: list[float],
+    c0: float,
+    c1: float,
+    c2: float,
+    c3: float,
+    n: int,
+) -> None:
+    for i in range(n):
+        y[i] = c0 * x[i] + c1 * x[i + 1] + c2 * x[i + 2] + c3 * x[i + 3]

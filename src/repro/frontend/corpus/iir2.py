@@ -1,0 +1,22 @@
+"""iir2: a direct-form biquad recursion over two delayed states.
+
+The copy chain ``s2 = s1; s1 = v`` gives the frontend a distance-1
+*and* a distance-2 loop-carried arc out of one producer.
+"""
+
+
+def iir2(
+    x: list[float],
+    y: list[float],
+    b0: float,
+    a1: float,
+    a2: float,
+    s1: float,
+    s2: float,
+    n: int,
+) -> None:
+    for i in range(n):
+        v = b0 * x[i] + a1 * s1 + a2 * s2
+        s2 = s1
+        s1 = v
+        y[i] = v

@@ -1,0 +1,20 @@
+"""matvec_row4: matrix-vector product rows with a stride-4 access
+stream over the packed matrix and four invariant vector elements."""
+
+
+def matvec_row4(
+    m: list[float],
+    x0: float,
+    x1: float,
+    x2: float,
+    x3: float,
+    y: list[float],
+    n: int,
+) -> None:
+    for i in range(n):
+        y[i] = (
+            m[4 * i] * x0
+            + m[4 * i + 1] * x1
+            + m[4 * i + 2] * x2
+            + m[4 * i + 3] * x3
+        )

@@ -1,0 +1,7 @@
+"""prefix: in-place prefix sum — a loop-carried recurrence *through
+memory* (the store to a[i] feeds the next iteration's load of a[i-1])."""
+
+
+def prefix(a: list[float], n: int) -> None:
+    for i in range(1, n):
+        a[i] = a[i] + a[i - 1]

@@ -1,0 +1,12 @@
+"""rms: windowed root-mean-square envelope — sqrt (30-cycle
+unpipelined) on the hot path plus a scalar reduction."""
+
+
+def rms(x: list[float], env: list[float], s: float, n: int) -> None:
+    for i in range(n):
+        s = s + x[i] * x[i]
+        env[i] = sqrt(s)
+
+
+def sqrt(v: float) -> float:
+    return v**0.5

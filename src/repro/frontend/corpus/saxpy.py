@@ -1,0 +1,6 @@
+"""saxpy: the BLAS level-1 scaled vector addition."""
+
+
+def saxpy(x: list[float], y: list[float], a: float, n: int) -> None:
+    for i in range(n):
+        y[i] = a * x[i] + y[i]

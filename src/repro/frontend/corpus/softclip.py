@@ -1,0 +1,7 @@
+"""softclip: rational soft clipper — a division (17-cycle unpipelined)
+fed by a squared term (one load consumed twice by one multiply)."""
+
+
+def softclip(x: list[float], y: list[float], k: float, n: int) -> None:
+    for i in range(n):
+        y[i] = x[i] / (k + x[i] * x[i])

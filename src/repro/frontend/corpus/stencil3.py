@@ -1,0 +1,6 @@
+"""stencil3: a 1D 3-point weighted stencil (separate output array)."""
+
+
+def stencil3(a: list[float], out: list[float], w: float, n: int) -> None:
+    for i in range(n):
+        out[i] = w * (a[i] + a[i + 1] + a[i + 2])

@@ -1,0 +1,17 @@
+"""stencil5: one row of a 2D 5-point stencil (top/mid/bot rows).
+
+Starts at i = 1, so lowering must normalize a non-zero loop start into
+the MemRef offsets.
+"""
+
+
+def stencil5(
+    top: list[float],
+    mid: list[float],
+    bot: list[float],
+    out: list[float],
+    c: float,
+    n: int,
+) -> None:
+    for i in range(1, n):
+        out[i] = c * (top[i] + bot[i] + mid[i - 1] + mid[i + 1])

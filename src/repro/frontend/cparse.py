@@ -1,0 +1,401 @@
+"""Optional tree-sitter C parser for the frontend.
+
+The container this repository targets does not ship ``tree_sitter``;
+everything here degrades cleanly when it is absent:
+
+* :func:`c_parser_available` answers without raising;
+* :func:`make_c_parser` (called lazily by the parser registry the first
+  time a ``.c`` file is selected) raises
+  :class:`~repro.errors.FrontendError` with an install hint.
+
+When the dependency *is* present (``tree_sitter`` plus a C grammar from
+``tree_sitter_c`` or the ``tree_sitter_languages`` bundle), the parser
+accepts the C mirror of the Python fragment::
+
+    void saxpy(double *x, double *y, double a, int n) {
+        for (int i = 0; i < n; i++) {
+            y[i] = a * x[i] + y[i];
+        }
+    }
+
+i.e. canonical counted ``for`` loops (``i = c``; ``i < bound`` /
+``i <= bound``; ``i++`` / ``i += c``) whose bodies are straight-line
+assignments over scalars and affine subscripts.  The output is the same
+:class:`~repro.frontend.ir.Kernel` IR the Python parser produces, so
+analysis, lowering and the differential harness are shared.
+"""
+
+from __future__ import annotations
+
+import importlib
+from types import ModuleType
+from typing import Any
+
+from repro.errors import FrontendError
+from repro.frontend.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    Kernel,
+    LoopInfo,
+    Name,
+    Num,
+    Subscript,
+)
+
+_INSTALL_HINT = (
+    "the optional C frontend needs the 'tree_sitter' package plus a C "
+    "grammar (pip install tree-sitter tree-sitter-c); the Python "
+    "frontend (.py sources) is always available"
+)
+
+
+def _import(name: str) -> ModuleType | None:
+    try:
+        return importlib.import_module(name)
+    except ImportError:
+        return None
+
+
+def _load_language() -> tuple[Any, Any] | None:
+    """(Parser instance, Language) or None when unavailable."""
+    ts = _import("tree_sitter")
+    if ts is None:
+        return None
+    ts_c = _import("tree_sitter_c")
+    language: Any = None
+    if ts_c is not None:
+        language = ts.Language(ts_c.language())
+    else:
+        bundle = _import("tree_sitter_languages")
+        if bundle is not None:
+            language = bundle.get_language("c")
+    if language is None:
+        return None
+    parser = ts.Parser()
+    try:
+        parser.language = language
+    except AttributeError:  # pre-0.22 API
+        parser.set_language(language)
+    return parser, language
+
+
+def c_parser_available() -> bool:
+    """True when tree-sitter and a C grammar are importable."""
+    return _load_language() is not None
+
+
+def make_c_parser() -> "CParser":
+    """Build the C parser, or raise with an install hint."""
+    loaded = _load_language()
+    if loaded is None:
+        raise FrontendError(f"C parser unavailable: {_INSTALL_HINT}")
+    return CParser(loaded[0])
+
+
+class CParser:
+    """Tree-sitter-backed C loop parser (see module docstring)."""
+
+    name = "c"
+    suffixes = (".c", ".h")
+
+    def __init__(self, parser: Any):
+        self._parser = parser
+
+    def parse(
+        self,
+        text: str,
+        *,
+        source: str = "<string>",
+        default_trip_count: int = 120,
+    ) -> list[Kernel]:
+        tree = self._parser.parse(text.encode())
+        kernels: list[Kernel] = []
+        for node in tree.root_node.children:
+            if node.type != "function_definition":
+                continue
+            kernel = self._function(node, source, default_trip_count)
+            if kernel is not None:
+                kernels.append(kernel)
+        return kernels
+
+    # -- helpers --------------------------------------------------------
+
+    def _text(self, node: Any) -> str:
+        text = node.text
+        return text.decode() if isinstance(text, bytes) else str(text)
+
+    def _child(self, node: Any, field: str) -> Any:
+        return node.child_by_field_name(field)
+
+    def _find_all(self, node: Any, kind: str) -> list[Any]:
+        found: list[Any] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.type == kind:
+                found.append(current)
+            stack.extend(reversed(current.children))
+        return found
+
+    # -- functions ------------------------------------------------------
+
+    def _function(
+        self, node: Any, source: str, default_trip_count: int
+    ) -> Kernel | None:
+        declarator = self._child(node, "declarator")
+        names = self._find_all(declarator, "identifier") if declarator else []
+        if not names:
+            return None
+        func_name = self._text(names[0])
+        params = tuple(self._text(n) for n in names[1:])
+        where = f"{source}:{func_name}"
+        loops = self._find_all(self._child(node, "body"), "for_statement")
+        if not loops:
+            return None
+        # Innermost loop of the (single) nest.
+        loop = loops[0]
+        inner = [f for f in self._find_all(loop, "for_statement") if f != loop]
+        while inner:
+            loop = inner[0]
+            inner = [
+                f for f in self._find_all(loop, "for_statement") if f != loop
+            ]
+        info = self._loop_info(loop, where, default_trip_count)
+        body: list[Assign] = []
+        body_node = self._child(loop, "body")
+        statements = (
+            body_node.children
+            if body_node.type == "compound_statement"
+            else [body_node]
+        )
+        for stmt in statements:
+            if stmt.type in ("{", "}", "comment"):
+                continue
+            if stmt.type != "expression_statement":
+                raise FrontendError(
+                    f"{where}: unsupported statement {stmt.type!r} in "
+                    "loop body"
+                )
+            body.append(self._statement(stmt.children[0], where, info.var))
+        if not body:
+            raise FrontendError(f"{where}: empty loop body")
+        return Kernel(
+            name=func_name, params=params, loop=info, body=body, source=source
+        )
+
+    # -- loop header ----------------------------------------------------
+
+    def _loop_info(
+        self, loop: Any, where: str, default_trip_count: int
+    ) -> LoopInfo:
+        init = self._child(loop, "initializer")
+        cond = self._child(loop, "condition")
+        update = self._child(loop, "update")
+        if init is None or cond is None or update is None:
+            raise FrontendError(f"{where}: for loop is not in canonical form")
+
+        var, start = self._parse_init(init, where)
+        step = self._parse_update(update, var, where)
+        stop_text, inclusive = self._parse_cond(cond, var, where)
+        symbolic: str | None = None
+        try:
+            stop = int(stop_text)
+            if inclusive:
+                stop += 1 if step > 0 else -1
+            trip = len(range(start, stop, step))
+        except ValueError:
+            symbolic = stop_text
+            trip = default_trip_count
+        if trip < 1:
+            raise FrontendError(f"{where}: loop executes no iterations")
+        return LoopInfo(
+            var=var,
+            start=start,
+            step=step,
+            trip_count=trip,
+            symbolic_bound=symbolic,
+        )
+
+    def _parse_init(self, init: Any, where: str) -> tuple[str, int]:
+        decls = self._find_all(init, "init_declarator")
+        if decls:
+            name_node = self._child(decls[0], "declarator")
+            value_node = self._child(decls[0], "value")
+        else:
+            assigns = self._find_all(init, "assignment_expression")
+            if not assigns:
+                raise FrontendError(
+                    f"{where}: for-loop initializer must set the "
+                    "induction variable"
+                )
+            name_node = self._child(assigns[0], "left")
+            value_node = self._child(assigns[0], "right")
+        try:
+            start = int(self._text(value_node))
+        except (TypeError, ValueError) as exc:
+            raise FrontendError(
+                f"{where}: induction start must be an integer literal"
+            ) from exc
+        return self._text(name_node), start
+
+    def _parse_cond(
+        self, cond: Any, var: str, where: str
+    ) -> tuple[str, bool]:
+        rels = self._find_all(cond, "binary_expression")
+        if not rels:
+            raise FrontendError(f"{where}: unsupported loop condition")
+        rel = rels[0]
+        op = self._text(self._child(rel, "operator"))
+        left = self._text(self._child(rel, "left"))
+        right = self._text(self._child(rel, "right"))
+        if left != var or op not in ("<", "<=", ">", ">="):
+            raise FrontendError(
+                f"{where}: loop condition must compare {var!r} to a bound"
+            )
+        return right, op in ("<=", ">=")
+
+    def _parse_update(self, update: Any, var: str, where: str) -> int:
+        text = self._text(update).replace(" ", "")
+        if text in (f"{var}++", f"++{var}"):
+            return 1
+        if text in (f"{var}--", f"--{var}"):
+            return -1
+        if text.startswith(f"{var}+="):
+            return int(text[len(var) + 2 :])
+        if text.startswith(f"{var}-="):
+            return -int(text[len(var) + 2 :])
+        raise FrontendError(
+            f"{where}: loop update must be {var}++/--/+= c/-= c "
+            f"(got {text!r})"
+        )
+
+    # -- statements and expressions ------------------------------------
+
+    def _statement(self, node: Any, where: str, var: str) -> Assign:
+        if node.type != "assignment_expression":
+            raise FrontendError(
+                f"{where}: loop body statements must be assignments "
+                f"(got {node.type!r})"
+            )
+        op = self._text(self._child(node, "operator"))
+        target = self._target(self._child(node, "left"), where, var)
+        expr = self._expr(self._child(node, "right"), where, var)
+        if op != "=":
+            if op not in ("+=", "-=", "*=", "/="):
+                raise FrontendError(
+                    f"{where}: unsupported assignment operator {op!r}"
+                )
+            read: Expr
+            if isinstance(target, Name):
+                read = Name(target.name)
+            else:
+                read = Subscript(target.array, target.coeff, target.offset)
+            expr = BinOp(op=op[0], left=read, right=expr)
+        return Assign(target=target, expr=expr)
+
+    def _target(self, node: Any, where: str, var: str) -> Name | Subscript:
+        if node.type == "identifier":
+            return Name(self._text(node))
+        if node.type == "subscript_expression":
+            return self._subscript(node, where, var)
+        raise FrontendError(
+            f"{where}: assignment target must be a scalar or subscript "
+            f"(got {node.type!r})"
+        )
+
+    def _expr(self, node: Any, where: str, var: str) -> Expr:
+        if node.type == "parenthesized_expression":
+            inner = [
+                c for c in node.children if c.type not in ("(", ")")
+            ]
+            return self._expr(inner[0], where, var)
+        if node.type == "identifier":
+            return Name(self._text(node))
+        if node.type == "number_literal":
+            return Num(float(self._text(node)))
+        if node.type == "subscript_expression":
+            return self._subscript(node, where, var)
+        if node.type == "unary_expression":
+            operand = self._expr(self._child(node, "argument"), where, var)
+            if isinstance(operand, Num):
+                return Num(-operand.value)
+            return BinOp(op="-", left=Num(0.0), right=operand)
+        if node.type == "binary_expression":
+            op = self._text(self._child(node, "operator"))
+            if op not in ("+", "-", "*", "/"):
+                raise FrontendError(
+                    f"{where}: unsupported operator {op!r} in loop body"
+                )
+            return BinOp(
+                op=op,
+                left=self._expr(self._child(node, "left"), where, var),
+                right=self._expr(self._child(node, "right"), where, var),
+            )
+        if node.type == "call_expression":
+            fname = self._text(self._child(node, "function"))
+            args = [
+                c
+                for c in self._child(node, "arguments").children
+                if c.type not in ("(", ")", ",")
+            ]
+            if fname not in ("sqrt", "sqrtf") or len(args) != 1:
+                raise FrontendError(
+                    f"{where}: only sqrt(x) calls are supported "
+                    f"(got {fname!r})"
+                )
+            return Call(func="sqrt", arg=self._expr(args[0], where, var))
+        raise FrontendError(
+            f"{where}: unsupported expression {node.type!r}"
+        )
+
+    def _subscript(self, node: Any, where: str, var: str) -> Subscript:
+        array_node = self._child(node, "argument")
+        index_node = self._child(node, "index")
+        if array_node.type != "identifier":
+            raise FrontendError(
+                f"{where}: subscripted value must be a plain array name"
+            )
+        coeff, offset = self._linear(index_node, where, var)
+        return Subscript(
+            array=self._text(array_node), coeff=coeff, offset=offset
+        )
+
+    def _linear(self, node: Any, where: str, var: str) -> tuple[int, int]:
+        if node.type == "parenthesized_expression":
+            inner = [c for c in node.children if c.type not in ("(", ")")]
+            return self._linear(inner[0], where, var)
+        if node.type == "identifier":
+            if self._text(node) != var:
+                raise FrontendError(
+                    f"{where}: subscript uses {self._text(node)!r}, not "
+                    f"the induction variable {var!r}"
+                )
+            return (1, 0)
+        if node.type == "number_literal":
+            return (0, int(self._text(node)))
+        if node.type == "unary_expression":
+            coeff, offset = self._linear(
+                self._child(node, "argument"), where, var
+            )
+            return (-coeff, -offset)
+        if node.type == "binary_expression":
+            op = self._text(self._child(node, "operator"))
+            lc, lo = self._linear(self._child(node, "left"), where, var)
+            rc, ro = self._linear(self._child(node, "right"), where, var)
+            if op == "+":
+                return (lc + rc, lo + ro)
+            if op == "-":
+                return (lc - rc, lo - ro)
+            if op == "*":
+                if lc != 0 and rc != 0:
+                    raise FrontendError(
+                        f"{where}: non-affine subscript (index product)"
+                    )
+                if lc == 0:
+                    return (lo * rc, lo * ro)
+                return (ro * lc, ro * lo)
+        raise FrontendError(
+            f"{where}: subscript must be affine in the loop variable"
+        )

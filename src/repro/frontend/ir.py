@@ -1,0 +1,136 @@
+"""The frontend's small loop IR.
+
+Parsers (:mod:`repro.frontend.parser`) normalize an innermost countable
+source loop into this representation; the dependence analyzer
+(:mod:`repro.frontend.analyze`) and the lowering pass
+(:mod:`repro.frontend.lower`) consume it.  The fragment is deliberately
+small — exactly what the machine model can express:
+
+* one induction variable counting ``range(start, stop, step)`` with a
+  literal (or defaulted) trip count;
+* a straight-line body of assignments ``scalar = expr`` or
+  ``array[affine] = expr``;
+* expressions over scalars, affine array reads ``a[c1*i + c0]``,
+  numeric literals, the four arithmetic operators and ``sqrt``.
+
+Expression nodes are mutable on purpose: the lowering pass annotates
+each value-producing node with the id of the dependence-graph node (or
+loop invariant) it became, and the source interpreter
+(:mod:`repro.frontend.reference`) replays the annotated IR to produce
+per-instance values keyed exactly like the scheduler's world.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Operators of :class:`BinOp`; ``+``/``-`` both lower to the machine's
+#: addition/subtraction class operation.
+BINARY_OPERATORS = ("+", "-", "*", "/")
+
+#: Call targets of :class:`Call`.
+CALL_FUNCTIONS = ("sqrt",)
+
+
+@dataclasses.dataclass
+class Name:
+    """A scalar read (loop-carried scalar, local temporary or parameter).
+
+    ``invariant_id`` is set by lowering when the scalar is loop-invariant
+    (never assigned inside the loop); loop scalars resolve to graph
+    nodes through the lowering's version map instead.
+    """
+
+    name: str
+    invariant_id: int | None = None
+
+
+@dataclasses.dataclass
+class Num:
+    """A numeric literal; lowered to a loop invariant (one per distinct
+    value) because the value semantics of :mod:`repro.sim.ops` has no
+    notion of immediates."""
+
+    value: float
+    invariant_id: int | None = None
+
+
+@dataclasses.dataclass
+class Subscript:
+    """An affine array reference ``array[coeff * var + offset]``.
+
+    As an expression operand it is an array *read* (lowered to a load);
+    as an assignment target it is an array *write* (lowered to a store).
+    ``node_id`` is the lowered load/store node.
+    """
+
+    array: str
+    coeff: int
+    offset: int
+    node_id: int | None = None
+
+
+@dataclasses.dataclass
+class BinOp:
+    """A binary arithmetic operation (see :data:`BINARY_OPERATORS`)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    node_id: int | None = None
+
+
+@dataclasses.dataclass
+class Call:
+    """A unary intrinsic call (see :data:`CALL_FUNCTIONS`)."""
+
+    func: str
+    arg: "Expr"
+    node_id: int | None = None
+
+
+Expr = Name | Num | Subscript | BinOp | Call
+
+
+@dataclasses.dataclass
+class Assign:
+    """One body statement: ``target = expr``."""
+
+    target: Name | Subscript
+    expr: Expr
+
+
+@dataclasses.dataclass
+class LoopInfo:
+    """The normalized counting loop.
+
+    ``trip_count`` is exact when the range bound was a literal;
+    otherwise it is the parser's ``default_trip_count`` and
+    ``symbolic_bound`` names the runtime bound (``n`` in
+    ``range(n)``) the count stands in for.
+    """
+
+    var: str
+    start: int
+    step: int
+    trip_count: int
+    symbolic_bound: str | None = None
+
+    def induction_value(self, iteration: int) -> int:
+        """Source value of the induction variable at one iteration."""
+        return self.start + self.step * iteration
+
+
+@dataclasses.dataclass
+class Kernel:
+    """One parsed innermost loop nest, ready for analysis and lowering."""
+
+    name: str
+    params: tuple[str, ...]
+    loop: LoopInfo
+    body: list[Assign]
+    #: Where the kernel came from (path or "<string>"), for messages.
+    source: str = "<string>"
+
+    def statements(self) -> list[Assign]:
+        return list(self.body)

@@ -14,6 +14,7 @@ explicitly.  Example - a dot-product-style reduction::
 
 from __future__ import annotations
 
+from repro.errors import GraphError
 from repro.graph.ddg import DependenceGraph, DepKind, Invariant, MemRef, Node
 from repro.machine.resources import OpKind
 
@@ -96,7 +97,20 @@ class LoopBuilder:
     # ------------------------------------------------------------------
 
     def loop_carried(self, src: Node, dst: Node, distance: int = 1) -> None:
-        """A loop-carried register dependence (recurrence edge)."""
+        """A loop-carried register dependence (recurrence edge).
+
+        The distance must be at least 1: a distance-0 "loop-carried"
+        arc would silently become an intra-iteration dependence, and a
+        RecMII computed over it would be wrong (the circuit's latency
+        would be divided by the wrong iteration span).
+        """
+        if distance < 1:
+            raise GraphError(
+                f"loop-carried edge {src.name} -> {dst.name} has "
+                f"distance {distance}; a recurrence must span at least "
+                "one iteration (use memory_dep/control_dep for "
+                "intra-iteration ordering)"
+            )
         self._graph.add_edge(
             src.id, dst.id, kind=DepKind.REG, distance=distance
         )

@@ -2,15 +2,16 @@
 
 :class:`SearchStats` replaces the ad-hoc ``stats.search_stats`` dict
 the speculative driver used to assemble: the same ledger as a typed
-dataclass, emitted as tracer counter events and still reachable in the
-old dict shape through :class:`LegacySearchStats` (which warns on
-dict-style access).
+dataclass, emitted as tracer counter events.  The transitional dict
+shape survives as :class:`LegacySearchStats` only for equality,
+iteration and JSON serialization; *keyed* access raises
+:class:`~repro.errors.ConfigError` now that the deprecation period is
+over.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 
 
 @dataclasses.dataclass
@@ -48,30 +49,32 @@ class SearchStats:
 
 
 class LegacySearchStats(dict):
-    """``stats.search_stats``'s old dict shape, kept warm but warning.
+    """``stats.search_stats``'s old dict shape, now closed to keyed reads.
 
     Equality, iteration and JSON serialization behave exactly like the
-    historical plain dict; *keyed* access (``[...]``/``get``) warns so
-    callers migrate to the typed ``stats.search`` field.
+    historical plain dict; *keyed* access (``[...]``/``get``) raises a
+    :class:`~repro.errors.ConfigError` pointing at the typed
+    ``stats.search`` field (it warned with a ``DeprecationWarning``
+    first).
     """
 
     @staticmethod
-    def _warn() -> None:
-        warnings.warn(
-            "dict-style access to SchedulerStats.search_stats is "
-            "deprecated; read the typed SchedulerStats.search "
-            "(repro.obs.SearchStats) instead",
-            DeprecationWarning,
-            stacklevel=3,
+    def _reject(key) -> None:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"dict-style access to SchedulerStats.search_stats "
+            f"(search_stats[{key!r}]) was removed after a deprecation "
+            "period; read the typed SchedulerStats.search "
+            "(repro.obs.SearchStats) instead, e.g. stats.search."
+            f"{key if isinstance(key, str) else '<field>'}"
         )
 
     def __getitem__(self, key):
-        self._warn()
-        return super().__getitem__(key)
+        self._reject(key)
 
     def get(self, key, default=None):
-        self._warn()
-        return super().get(key, default)
+        self._reject(key)
 
 
 def outcome_histogram(trace_entries) -> dict[str, int]:

@@ -35,6 +35,22 @@ class TestLoopBuilder:
         assert node.id in graph.invariant(c.id).consumers
         assert graph.in_edges(node.id) == []
 
+    def test_loop_carried_rejects_distance_below_one(self):
+        import pytest
+
+        from repro.errors import GraphError
+
+        b = LoopBuilder("bad")
+        x = b.load(array=0, name="ld_x")
+        acc = b.add(x, name="acc")
+        with pytest.raises(GraphError, match="acc -> ld_x.*distance 0"):
+            b.loop_carried(acc, x, distance=0)
+        with pytest.raises(GraphError, match="distance -1"):
+            b.loop_carried(acc, acc, distance=-1)
+        # Distance 1 is the smallest legal recurrence span.
+        b.loop_carried(acc, acc, distance=1)
+        b.build()
+
     def test_loop_carried_and_memory_deps(self):
         b = LoopBuilder("deps")
         x = b.load(array=0)

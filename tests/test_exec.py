@@ -11,6 +11,7 @@ import pytest
 from repro.core.mirsc import MirsC
 from repro.core.params import MirsParams
 from repro.core.request import SessionConfig
+from repro.errors import ConfigError
 from repro.eval.experiments import table1_rows
 from repro.eval.runner import bench_loop_count, bench_suite, schedule_suite
 from repro.exec import (
@@ -63,11 +64,14 @@ class TestParallelEqualsSequential:
         )
         assert fingerprints(seq.results) == fingerprints(par.results)
 
-    def test_legacy_kwargs_warn_but_work(self):
-        with pytest.warns(DeprecationWarning, match="jobs"):
-            legacy = schedule_suite(MACHINE, LOOPS, "mirsc", jobs=1)
-        fresh = schedule_suite(MACHINE, LOOPS, "mirsc")
-        assert fingerprints(legacy.results) == fingerprints(fresh.results)
+    def test_legacy_kwargs_raise_with_migration_hint(self):
+        with pytest.raises(ConfigError, match="jobs.*removed.*SessionConfig"):
+            schedule_suite(MACHINE, LOOPS, "mirsc", jobs=1)
+        with pytest.raises(ConfigError, match="search.*ScheduleRequest"):
+            schedule_suite(MACHINE, LOOPS, "mirsc", search="linear")
+        # The historical 4th positional (params) is rejected the same way.
+        with pytest.raises(ConfigError, match="params"):
+            schedule_suite(MACHINE, LOOPS, "mirsc", MirsParams())
 
     def test_unknown_scheduler_rejected_before_any_work(self):
         with pytest.raises(ValueError):

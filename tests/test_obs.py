@@ -15,8 +15,9 @@ The contracts pinned here:
   attempt (completed attempts merged from the worker, cancelled ones
   synthesized and marked), with the executed-attempt bound of the
   cancellation accounting;
-* ``SchedulerStats.search_stats`` keeps the old dict shape but warns on
-  keyed access; :class:`ConvergenceError` carries the failure-kind
+* ``SchedulerStats.search_stats`` keeps the old dict shape for
+  equality/iteration/JSON but raises :class:`ConfigError` on keyed
+  access; :class:`ConvergenceError` carries the failure-kind
   histogram; ``repro trace summary`` covers ≥95% of schedule time.
 """
 
@@ -42,7 +43,7 @@ from repro import (
 from repro.core.attempts import SpeculativeSearchDriver
 from repro.core.params import max_ii_for
 from repro.core.request import SessionConfig
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.eval.runner import schedule_suite
 from repro.exec import result_fingerprint
 from repro.exec.cache import ResultCache
@@ -301,15 +302,15 @@ class TestRaceSpans:
 
 
 class TestSearchStatsShim:
-    def test_keyed_access_warns_but_works(self):
+    def test_keyed_access_raises_with_migration_hint(self):
         result = MirsC(UNIFIED, strict=False, speculation=2).schedule(
             daxpy()
         )
         legacy = result.stats.search_stats
-        with pytest.warns(DeprecationWarning, match="SchedulerStats.search"):
-            assert legacy["speculation"] == 2
-        with pytest.warns(DeprecationWarning):
-            assert legacy.get("missing", "d") == "d"
+        with pytest.raises(ConfigError, match="SchedulerStats.search"):
+            legacy["speculation"]
+        with pytest.raises(ConfigError, match="removed"):
+            legacy.get("missing", "d")
         # Equality, iteration and JSON stay silent (the historical uses).
         assert legacy == result.stats.search.as_dict()
         assert "launched" in set(legacy)

@@ -231,3 +231,64 @@ class TestUnrollTripSemantics:
         assert factor == 8
         assert saturated.unroll_factor == 8
         assert saturated.trip_count == 13  # ceil(97 / 8)
+
+    def test_factor_one_is_full_identity(self):
+        # A factor-1 "unroll" must not disturb any observable: same
+        # nodes, names, memory streams, edges, invariants and the
+        # trip-count bookkeeping triple.
+        graph = daxpy(trip_count=10)
+        prior = unroll(graph, 2)  # composed state to carry through
+        copy = unroll(prior, 1)
+        assert copy is not prior
+        assert copy.trip_count == prior.trip_count
+        assert copy.unroll_factor == prior.unroll_factor
+        assert copy.source_trip_count == prior.source_trip_count
+        assert [(n.id, n.name, n.kind) for n in copy.nodes()] == [
+            (n.id, n.name, n.kind) for n in prior.nodes()
+        ]
+        assert [
+            (e.src, e.dst, e.kind, e.distance) for e in copy.edges()
+        ] == [(e.src, e.dst, e.kind, e.distance) for e in prior.edges()]
+        assert [n.mem_ref for n in copy.nodes()] == [
+            n.mem_ref for n in prior.nodes()
+        ]
+        assert len(copy.invariants()) == len(prior.invariants())
+
+    def test_non_dividing_warn_path_preserves_source_trip_count(self):
+        import pytest
+
+        # The warning path must keep the *original* iteration count
+        # observable: trip_count is reshaped, source_trip_count is not.
+        graph = daxpy(trip_count=10)
+        assert graph.source_trip_count == 10
+        with pytest.warns(UserWarning, match="surplus"):
+            unrolled = unroll(graph, 3)
+        assert unrolled.trip_count == 4
+        assert unrolled.unroll_factor == 3
+        assert unrolled.source_trip_count == 10
+        # And it composes: a second (dividing) unroll still reports the
+        # source loop's 10 iterations.
+        again = unroll(unrolled, 2)
+        assert again.source_trip_count == 10
+        assert again.unroll_factor == 6
+
+    def test_saturate_tie_breaking_deterministic(self):
+        # Repeated runs pick the same factor and produce structurally
+        # identical graphs (node order included): saturate() feeds the
+        # workbench builder, whose results are cached and fingerprinted.
+        graph = daxpy(trip_count=100)
+        first, factor_a = saturate(graph, SaturationPolicy())
+        second, factor_b = saturate(daxpy(trip_count=100), SaturationPolicy())
+        assert factor_a == factor_b == 5
+        assert [(n.id, n.name) for n in first.nodes()] == [
+            (n.id, n.name) for n in second.nodes()
+        ]
+        assert [
+            (e.src, e.dst, e.kind, e.distance) for e in first.edges()
+        ] == [(e.src, e.dst, e.kind, e.distance) for e in second.edges()]
+        # 4 also divides 100 and fits the budget; the largest dividing
+        # candidate below the saturation target must win the tie, every
+        # time, independent of dict/set iteration order.
+        for _ in range(5):
+            _, factor = saturate(daxpy(trip_count=100), SaturationPolicy())
+            assert factor == 5
