@@ -223,6 +223,65 @@ def test_nightly_paper_scale_suite(executor, table_sink):
     assert failures == [], "; ".join(failures)
 
 
+def test_nightly_optimality_gap(executor, table_sink):
+    """Heuristic-vs-exact optimality gap over workbench + corpus.
+
+    Schedules the 16-loop workbench and the full frontend corpus twice
+    on the unified reference machine — once with MIRS-C, once with the
+    exact backend — and publishes the per-loop II and register gaps
+    under the ``optimality`` key of ``BENCH_nightly.json``.  Two
+    failure conditions gate the night:
+
+    * any exact schedule that does not certify statically *and* match
+      the reference interpreter bit for bit (``validated`` column);
+    * any covered heuristic II **below** a certified lower bound
+      (``gate`` column ``VIOLATION``) — that would disprove either the
+      heuristic's verifier or the exact solver, and is exactly what
+      this leg exists to catch.
+    """
+    from repro.eval.experiments import optimality_rows
+
+    started = time.perf_counter()
+    headers, rows, note = optimality_rows(session=executor)
+    wall = time.perf_counter() - started
+
+    gate_col = headers.index("gate")
+    validated_col = headers.index("validated")
+    oracle_col = headers.index("oracle")
+    proven = sum(1 for row in rows if row[oracle_col] == "optimal")
+    section = {
+        "wall_seconds": round(wall, 3),
+        "proven_optimal": proven,
+        "loops": [dict(zip(headers, row)) for row in rows],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_nightly.json"
+    # The paper-scale leg owns the file; merge so run order never
+    # drops a section (a solo run of this leg still publishes).
+    payload = (
+        json.loads(out_path.read_text()) if out_path.exists() else {}
+    )
+    payload["optimality"] = section
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table_sink(
+        "nightly_optimality",
+        render_table(
+            f"Nightly optimality gap ({wall:.1f}s)", headers, rows, note
+        ),
+    )
+    failures = [
+        f"{row[0]}: heuristic II beats the certified lower bound"
+        for row in rows
+        if row[gate_col] == "VIOLATION"
+    ] + [
+        f"{row[0]}: exact schedule failed certification/differential"
+        for row in rows
+        if row[validated_col] == "FAIL"
+    ]
+    assert failures == [], "; ".join(failures)
+
+
 def test_nightly_frontend_corpus(executor, table_sink):
     """Full-corpus frontend sweep on both reference machines.
 

@@ -131,7 +131,10 @@ def _request_from(args: argparse.Namespace) -> ScheduleRequest:
 
         trace = RecordingTracer()
     return ScheduleRequest(
-        search=args.ii_search, speculation=args.speculation, trace=trace,
+        scheduler=getattr(args, "scheduler", "mirsc"),
+        search=args.ii_search,
+        speculation=args.speculation,
+        trace=trace,
     )
 
 
@@ -197,6 +200,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(format_kernel(result))
     print()
     print(result.summary())
+    if result.oracle is not None:
+        oracle = result.oracle
+        print(
+            f"oracle: {oracle['status']} (engine={oracle['engine']}, "
+            f"proven lower bound II={oracle['proven_lower_ii']}, "
+            f"{len(oracle['certificates'])} certificates)"
+        )
     if args.code:
         print()
         print(generate_code(result).render())
@@ -579,6 +589,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--config",
             default="2-(GP4M2-REG32)",
             help="machine configuration, e.g. '4-(GP2M1-REG16)'",
+        )
+        p.add_argument(
+            "--scheduler",
+            choices=("mirsc", "baseline", "smt"),
+            default="mirsc",
+            help="scheduling backend: the paper's MIRS-C heuristic "
+            "(default), the non-iterative baseline, or the exact "
+            "optimality oracle ('smt'; proves its II minimal)",
         )
         p.add_argument(
             "--ii-search",

@@ -32,6 +32,77 @@ SPECULATION_ENV = "REPRO_SPECULATION"
 
 
 @dataclasses.dataclass(frozen=True)
+class SmtParams:
+    """Parameters of the exact (``scheduler="smt"``) backend.
+
+    The exact backend proves rather than guesses, so its knobs bound
+    *work*, never randomness: every field below is part of the problem's
+    identity and participates in :meth:`MirsParams.canonical` (and thus
+    the exec cache keys).
+    """
+
+    #: Which solver runs the fixed-II decision problems: ``"native"``
+    #: (the built-in exact CSP engine, always available), ``"z3"``
+    #: (requires the optional ``z3-solver`` package) or ``"auto"``
+    #: (z3 when installed, native otherwise).  Resolved by
+    #: :meth:`effective_engine` before entering any cache key: two
+    #: environments resolving differently *should* key differently,
+    #: because the engines may return different (equally optimal)
+    #: schedules.
+    engine: str = "auto"
+    #: Loops larger than this are skipped (``oracle.status ==
+    #: "skipped"``) instead of burning the step budget: exact modulo
+    #: scheduling is exponential and the oracle targets small loops.
+    #: The default admits the whole 16-loop workbench (22-93 nodes);
+    #: the step budget, not the node count, is the real work bound.
+    max_nodes: int = 96
+    #: Machines with more clusters than this are skipped: the cluster
+    #: assignment space grows as ``K**nodes``.
+    max_clusters: int = 2
+    #: Deterministic work bound per fixed-II decision problem, counted
+    #: in solver steps (decisions + propagations for the native engine,
+    #: a solver-reported budget for z3) — never wall-clock, so cached
+    #: verdicts are reproducible.  Exhaustion yields an ``"unknown"``
+    #: verdict, not an error.
+    step_budget: int = 2_000_000
+    #: Extra kernel stages of schedule-length headroom beyond the
+    #: critical-path bound.  Every UNSAT certificate records the horizon
+    #: it was proven under; raising this widens the claim (and the
+    #: search space).
+    horizon_stages: int = 2
+    #: Enforce the MaxLive-style per-cluster register bound.  Off turns
+    #: the backend into a pure resource/dependence feasibility oracle.
+    register_bound: bool = True
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("auto", "native", "z3"):
+            raise ConfigError(
+                f"unknown smt engine {self.engine!r} "
+                "(expected 'auto', 'native' or 'z3')"
+            )
+        if self.max_nodes < 1 or self.max_clusters < 1:
+            raise ConfigError("smt size gates must be at least 1")
+        if self.step_budget < 1:
+            raise ConfigError("smt step budget must be at least 1")
+        if self.horizon_stages < 0:
+            raise ConfigError("smt horizon stages must be non-negative")
+
+    def effective_engine(self) -> str:
+        """Resolve ``"auto"`` against the environment (z3 if installed)."""
+        if self.engine != "auto":
+            return self.engine
+        from repro.errors import optional_import
+
+        return "z3" if optional_import("z3") is not None else "native"
+
+    def canonical(self) -> dict:
+        """Stable form for cache keys: ``engine`` resolved, rest verbatim."""
+        payload = dataclasses.asdict(self)
+        payload["engine"] = self.effective_engine()
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
 class MirsParams:
     """Algorithm parameters (paper defaults).
 
@@ -92,6 +163,12 @@ class MirsParams:
     #: way).  Off runs the historical per-call batch allocation; kept as
     #: the oracle for the differential tests and benchmarks.
     incremental_colouring: bool = True
+    #: Exact-backend parameters (``scheduler="smt"``); ``None`` means
+    #: :class:`SmtParams` defaults.  Ignored by the heuristic schedulers
+    #: and stripped from per-attempt cache keys, but part of
+    #: :meth:`canonical` so exec cache keys distinguish oracle
+    #: configurations.
+    smt: SmtParams | None = None
 
     def __post_init__(self) -> None:
         if self.budget_ratio < 1:
@@ -104,6 +181,10 @@ class MirsParams:
             raise ConfigError("final round cap must be at least 1")
         if self.speculation is not None and self.speculation < 1:
             raise ConfigError("speculation width must be at least 1")
+        if self.smt is not None and not isinstance(self.smt, SmtParams):
+            raise ConfigError(
+                f"smt must be an SmtParams (got {type(self.smt).__name__})"
+            )
         make_policy(self.ii_search)  # fail fast on unknown policies
 
     def make_search_policy(self):
@@ -169,7 +250,14 @@ class MirsParams:
         # explicit setting happens to match it.
         payload["bound_eject_churn"] = self.effective_bound_eject_churn()
         payload["speculation"] = self.effective_speculation()
+        # The exact backend's sub-params resolve their own tri-state
+        # (engine "auto" → the engine that will actually run).
+        payload["smt"] = self.effective_smt().canonical()
         return payload
+
+    def effective_smt(self) -> SmtParams:
+        """The exact-backend parameter set (field, or defaults)."""
+        return self.smt if self.smt is not None else SmtParams()
 
 
 def max_ii_for(mii: int, node_count: int, params: MirsParams) -> int:

@@ -137,6 +137,13 @@ class ScheduleRequest:
         if self.scheduler == "baseline":
             # The baseline has no attempt machinery worth tracing.
             return NonIterativeScheduler(machine, params=params)
+        if self.scheduler == "smt":
+            from repro.smt.scheduler import SmtScheduler
+
+            return SmtScheduler(
+                machine, params=params, verify=verify, strict=strict,
+                tracer=self.trace,
+            )
         raise ValueError(f"unknown scheduler {self.scheduler!r}")
 
 

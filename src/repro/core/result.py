@@ -54,6 +54,13 @@ class ScheduleResult:
     stats: SchedulerStats = dataclasses.field(default_factory=SchedulerStats)
     graph: DependenceGraph | None = None
     trip_count: int = 0
+    #: Exact-backend verdict (``scheduler="smt"`` only): engine, status
+    #: (``optimal`` / ``feasible`` / ``skipped`` / ``infeasible``), the
+    #: proven lower II and the per-II certificate ledger.  ``None`` for
+    #: heuristic results.  Like ``scheduling_seconds`` it is diagnostic
+    #: provenance, deliberately outside ``result_fingerprint`` (which
+    #: builds its payload explicitly).
+    oracle: dict | None = None
 
     @property
     def execution_cycles(self) -> int:

@@ -57,6 +57,16 @@ def _instances_assignable(masks: list[int], capacity: int) -> bool:
     return backtrack(0)
 
 
+def instances_assignable(masks: list[int], capacity: int) -> bool:
+    """Public name of the exact instance-packing test.
+
+    The exact scheduling backend (:mod:`repro.smt`) shares it: both the
+    verifier and the solvers must agree on what "fits the instances"
+    means for multi-row (unpipelined) reservations.
+    """
+    return _instances_assignable(masks, capacity)
+
+
 def verify_schedule(
     graph: DependenceGraph,
     machine: MachineConfig,

@@ -3,9 +3,18 @@
 Every failure mode that a caller may reasonably want to catch has its own
 exception class; all of them derive from :class:`ReproError` so that a
 single ``except ReproError`` is enough to guard a whole scheduling run.
+
+The module also owns the *optional-dependency gate*
+(:func:`optional_import` / :func:`require_optional`): the lazy-probe /
+typed-error / install-hint pattern the tree-sitter C frontend pioneered
+in ``repro.frontend.cparse``, extracted here so every optional backend
+(tree-sitter, z3) gates identically.
 """
 
 from __future__ import annotations
+
+import importlib
+from types import ModuleType
 
 
 class ReproError(Exception):
@@ -112,3 +121,60 @@ class CertificationError(ReproError):
         super().__init__(message)
         self.loop = loop
         self.report = report
+
+
+class OptionalDependencyError(ReproError, ImportError):
+    """An optional third-party dependency is not installed.
+
+    Also an :class:`ImportError` so callers that probe features with the
+    standard ``except ImportError`` idiom keep working.  The message
+    always carries an install hint; the machine-readable pieces ride as
+    attributes so CLI/report layers can render their own.
+
+    Attributes:
+        module: the top-level module name that failed to import.
+        feature: human name of the gated feature (``"the z3 exact
+            scheduling backend"``).
+        hint: how to install the dependency (``"pip install z3-solver"``).
+    """
+
+    def __init__(self, module: str, *, feature: str, hint: str):
+        super().__init__(
+            f"{feature} needs the optional {module!r} package "
+            f"({hint}); it is not installed"
+        )
+        self.module = module
+        self.feature = feature
+        self.hint = hint
+
+
+# ----------------------------------------------------------------------
+# The optional-dependency gate
+# ----------------------------------------------------------------------
+
+
+def optional_import(name: str) -> ModuleType | None:
+    """Import an optional module, answering ``None`` when it is absent.
+
+    The quiet probe half of the gate: availability predicates
+    (``c_parser_available``, ``z3_available``) call this so asking
+    "is the feature there?" never raises.
+    """
+    try:
+        return importlib.import_module(name)
+    except ImportError:
+        return None
+
+
+def require_optional(name: str, *, feature: str, hint: str) -> ModuleType:
+    """Import an optional module or raise the typed, hinted error.
+
+    The loud half of the gate, called lazily on first *use* of the
+    feature (never at package import time): returns the module when
+    present, raises :class:`OptionalDependencyError` naming the feature
+    and the install command when absent.
+    """
+    module = optional_import(name)
+    if module is None:
+        raise OptionalDependencyError(name, feature=feature, hint=hint)
+    return module

@@ -147,6 +147,8 @@ def attempt_cache_key(task) -> str:
     params = task.params.canonical()
     params.pop("ii_search", None)
     params.pop("speculation", None)
+    # The exact backend's knobs never reach the heuristic attempt loop.
+    params.pop("smt", None)
     return stable_hash(
         {
             "version": CACHE_FORMAT_VERSION,

@@ -27,11 +27,9 @@ analysis, lowering and the differential harness are shared.
 
 from __future__ import annotations
 
-import importlib
-from types import ModuleType
 from typing import Any
 
-from repro.errors import FrontendError
+from repro.errors import FrontendError, optional_import
 from repro.frontend.ir import (
     Assign,
     BinOp,
@@ -51,11 +49,10 @@ _INSTALL_HINT = (
 )
 
 
-def _import(name: str) -> ModuleType | None:
-    try:
-        return importlib.import_module(name)
-    except ImportError:
-        return None
+# The probe half of the gate lives in repro.errors now (shared with the
+# z3 exact-scheduling backend); kept under the historical local name so
+# the module reads as before.
+_import = optional_import
 
 
 def _load_language() -> tuple[Any, Any] | None:

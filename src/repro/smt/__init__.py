@@ -1,0 +1,29 @@
+"""Exact modulo scheduling: an optimality oracle for the heuristics.
+
+``scheduler="smt"`` solves fixed-II decision problems *exactly*,
+ascending the II ladder from MII, so the first feasible point comes
+with UNSAT certificates for every II below it —
+a machine-checked proof of minimality within the model's horizon.  Two
+engines share one encoding (:mod:`repro.smt.problem`): the built-in
+CSP search (:mod:`repro.smt.native`, always available) and z3
+(:mod:`repro.smt.z3backend`, optional dependency).
+"""
+
+from repro.smt.native import SolveOutcome, solve_fixed_ii
+from repro.smt.problem import (
+    FixedIIProblem,
+    MoveSlot,
+    relaxation_covers,
+    span_within_horizon,
+)
+from repro.smt.scheduler import SmtScheduler
+
+__all__ = [
+    "FixedIIProblem",
+    "MoveSlot",
+    "SmtScheduler",
+    "SolveOutcome",
+    "relaxation_covers",
+    "solve_fixed_ii",
+    "span_within_horizon",
+]

@@ -101,6 +101,36 @@ class TestCache:
         assert warm.stats.cache_hits == len(LOOPS)
         assert fingerprints(first) == fingerprints(second)
 
+    def test_warm_cache_skips_smt_scheduler(self, tmp_path, monkeypatch):
+        """The exact backend's results (oracle dict included) round-trip
+        through the on-disk cache; a warm rerun never invokes it."""
+        from tests.helpers import UNIFIED, daxpy
+
+        from repro.smt.scheduler import SmtScheduler
+
+        loops = [daxpy()]
+        cold = SuiteExecutor(cache=ResultCache(tmp_path))
+        first = cold.run(UNIFIED, loops, "smt")
+        assert cold.stats.scheduled == 1
+        assert first[0].oracle is not None
+        assert first[0].oracle["status"] == "optimal"
+
+        calls = []
+        original = SmtScheduler.schedule
+
+        def counting(self, graph):
+            calls.append(graph.name)
+            return original(self, graph)
+
+        monkeypatch.setattr(SmtScheduler, "schedule", counting)
+        warm = SuiteExecutor(cache=ResultCache(tmp_path))
+        second = warm.run(UNIFIED, loops, "smt")
+        assert calls == []
+        assert warm.stats.cache_hits == 1
+        assert fingerprints(first) == fingerprints(second)
+        # The oracle certificates survive the cache round-trip intact.
+        assert second[0].oracle == first[0].oracle
+
     def test_warm_cache_parallel_run(self, tmp_path):
         cache = ResultCache(tmp_path)
         SuiteExecutor(jobs=2, cache=cache).run(MACHINE, LOOPS)
@@ -194,6 +224,42 @@ class TestCacheKeys:
         base = cache_key(graph, MACHINE, None, "mirsc")
         assert base != cache_key(graph, MACHINE, None, "baseline")
         assert base != cache_key(LOOPS[1].graph, MACHINE, None, "mirsc")
+
+    def test_key_distinguishes_smt_backend_and_its_params(self):
+        from repro.core.params import SmtParams
+
+        graph = LOOPS[0].graph
+        heuristic = cache_key(graph, MACHINE, None, "mirsc")
+        exact = cache_key(graph, MACHINE, None, "smt")
+        assert heuristic != exact
+        # Every SmtParams knob is part of the problem's identity.
+        assert exact != cache_key(
+            graph, MACHINE, MirsParams(smt=SmtParams(step_budget=1)), "smt"
+        )
+        assert exact != cache_key(
+            graph, MACHINE, MirsParams(smt=SmtParams(horizon_stages=5)), "smt"
+        )
+        assert exact != cache_key(
+            graph,
+            MACHINE,
+            MirsParams(smt=SmtParams(register_bound=False)),
+            "smt",
+        )
+
+    def test_smt_canonical_resolves_auto_engine(self):
+        from repro.core.params import SmtParams
+
+        # "auto" would alias environments with and without z3; the
+        # canonical form (and thus every cache key) pins the resolved
+        # engine instead.
+        payload = MirsParams(smt=SmtParams()).canonical()["smt"]
+        assert payload["engine"] in ("native", "z3")
+        # params=None defaults must also key identically to explicit
+        # defaults under the smt scheduler.
+        graph = LOOPS[0].graph
+        assert cache_key(graph, MACHINE, None, "smt") == cache_key(
+            graph, MACHINE, MirsParams(), "smt"
+        )
 
     def test_key_changes_with_unroll_provenance(self):
         """Different source loops can unroll into the same body and trip
